@@ -1,0 +1,241 @@
+// Command mqpi-bench regenerates the paper's tables and figures as text.
+//
+//	mqpi-bench -exp all                 # every experiment
+//	mqpi-bench -exp mcq -seed 7         # Figures 3-4
+//	mqpi-bench -exp scq -runs 100       # Figures 6-7 at full paper scale
+//
+// Experiments: dataset (Table 1), mcq (Fig 3-4), naq (Fig 5), scq (Fig 6-7),
+// scq-lambda (Fig 8-9), scq-traj (Fig 10), maint (Fig 11).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mqpi/internal/core"
+	"mqpi/internal/experiments"
+	"mqpi/internal/metrics"
+	"mqpi/internal/workload"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: dataset|mcq|naq|scq|scq-lambda|scq-traj|maint|stages|speedup|priority|robust|mpl|all")
+		seed    = flag.Int64("seed", 1, "random seed")
+		runs    = flag.Int("runs", 0, "runs per data point (0 = experiment default)")
+		rows    = flag.Int("lineitem", 0, "lineitem row count (0 = experiment default)")
+		verbose = flag.Bool("v", false, "print timing for each experiment")
+		csvDir  = flag.String("csv", "", "also write each figure as CSV into this directory")
+	)
+	flag.Parse()
+
+	which := strings.Split(*exp, ",")
+	want := func(name string) bool {
+		for _, w := range which {
+			if w == name || w == "all" {
+				return true
+			}
+		}
+		return false
+	}
+	data := workload.DataConfig{LineitemRows: *rows, Seed: *seed}
+	saveCSV := func(name string, fig *metrics.Figure) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "mqpi-bench: csv dir: %v\n", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*csvDir, name+".csv")
+		if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mqpi-bench: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+
+	ran := 0
+	step := func(name string, f func() error) {
+		if !want(name) {
+			return
+		}
+		ran++
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "mqpi-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "[%s took %v]\n", name, time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Println()
+	}
+
+	step("dataset", func() error {
+		res, err := experiments.RunDataset(experiments.DatasetConfig{Seed: *seed, Data: data})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		return nil
+	})
+
+	step("mcq", func() error {
+		res, err := experiments.RunMCQ(experiments.MCQConfig{Seed: *seed, Data: data})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("MCQ focus query: %s (finishes at %.0fs; speed grows %.1fx)\n",
+			res.FocusLabel, res.FinishTime, res.SpeedRatio)
+		fmt.Printf("relative error at time 0: single-query %.0f%%, multi-query %.0f%%\n\n",
+			res.ErrStartSingle*100, res.ErrStartMulti*100)
+		saveCSV("figure3", &res.Fig3)
+		saveCSV("figure4", &res.Fig4)
+		fmt.Print(res.Fig3.Render())
+		fmt.Println()
+		fmt.Print(res.Fig4.Render())
+		return nil
+	})
+
+	step("naq", func() error {
+		res, err := experiments.RunNAQ(experiments.NAQConfig{Seed: *seed, Data: data})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("NAQ events: Q2 finishes / Q3 starts at %.0fs, Q3 finishes at %.0fs, Q1 finishes at %.0fs\n",
+			res.Q2Finish, res.Q3Finish, res.Q1Finish)
+		fmt.Printf("relative error at time 0: single %.0f%%, multi(no queue) %.0f%%, multi(queue) %.0f%%\n\n",
+			res.ErrStartSingle*100, res.ErrStartNoQueue*100, res.ErrStartQueue*100)
+		saveCSV("figure5", &res.Fig5)
+		fmt.Print(res.Fig5.Render())
+		return nil
+	})
+
+	step("scq", func() error {
+		res, err := experiments.RunSCQ(experiments.SCQConfig{Seed: *seed, Runs: *runs, Data: data})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("SCQ: average future-query cost c̄=%.0fU, stability boundary λ*=C/c̄=%.3f\n\n",
+			res.CBar, res.StabilityLambda)
+		saveCSV("figure6", &res.Fig6)
+		saveCSV("figure7", &res.Fig7)
+		fmt.Print(res.Fig6.Render())
+		fmt.Println()
+		fmt.Print(res.Fig7.Render())
+		return nil
+	})
+
+	step("scq-lambda", func() error {
+		res, err := experiments.RunSCQLambdaErr(experiments.SCQConfig{Seed: *seed, Runs: *runs, Data: data})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("SCQ λ′ sensitivity: true λ=%.3g, c̄=%.0fU\n\n", res.Lambda, res.CBar)
+		saveCSV("figure8", &res.Fig8)
+		saveCSV("figure9", &res.Fig9)
+		fmt.Print(res.Fig8.Render())
+		fmt.Println()
+		fmt.Print(res.Fig9.Render())
+		return nil
+	})
+
+	step("scq-traj", func() error {
+		res, err := experiments.RunSCQTrajectory(experiments.SCQConfig{Seed: *seed, Data: data}, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("SCQ trajectory: focus query finishes at %.0fs\n\n", res.FocusFinish)
+		saveCSV("figure10", &res.Fig10)
+		fmt.Print(res.Fig10.Render())
+		return nil
+	})
+
+	step("stages", func() error {
+		// Figures 1 and 2 are analytic illustrations of the stage model;
+		// render them from the closed form.
+		states := []core.QueryState{
+			{ID: 1, Remaining: 100, Weight: 1},
+			{ID: 2, Remaining: 200, Weight: 1},
+			{ID: 3, Remaining: 300, Weight: 1},
+			{ID: 4, Remaining: 400, Weight: 1},
+		}
+		fmt.Println("== Figure 1: sample execution of n=4 queries ==")
+		fmt.Print(core.StageDiagram(states, 100, 50))
+		fmt.Println("\n== Figure 2: same, with Q3 blocked at time 0 ==")
+		blocked := append([]core.QueryState(nil), states...)
+		blocked[2].Weight = 0
+		fmt.Print(core.StageDiagram(blocked, 100, 50))
+		return nil
+	})
+
+	step("speedup", func() error {
+		res, err := experiments.RunSpeedup(experiments.SpeedupConfig{Seed: *seed, Runs: *runs, Data: data})
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Extension: §3.1 victim-selection policies ==")
+		for i, p := range res.Policies {
+			fmt.Printf("  %-28s mean target speed-up %6.1fs\n", p, res.MeanSavings[i])
+		}
+		fmt.Printf("  §3.1 benefit formula |predicted-actual| = %.1fs on average\n", res.PredictedVsActual)
+		return nil
+	})
+
+	step("priority", func() error {
+		res, err := experiments.RunPriority(experiments.PriorityConfig{Seed: *seed, Data: data})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== Extension: weighted priorities (Assumption 3) ==\n")
+		fmt.Printf("measured high/low speed ratio: %.2f (weights predict 3.00)\n", res.SpeedRatio)
+		fmt.Printf("mean time-0 relative error: single %.0f%%, multi %.0f%%\n\n",
+			res.ErrT0Single*100, res.ErrT0Multi*100)
+		fmt.Print(res.Fig.Render())
+		return nil
+	})
+
+	step("mpl", func() error {
+		res, err := experiments.RunMPLSweep(experiments.MPLSweepConfig{Seed: *seed, Runs: *runs, Data: data})
+		if err != nil {
+			return err
+		}
+		saveCSV("mpl-sweep", &res.Fig)
+		fmt.Print(res.Fig.Render())
+		return nil
+	})
+
+	step("robust", func() error {
+		res, err := experiments.RunRobustness(experiments.RobustnessConfig{Seed: *seed, Runs: *runs, Data: data})
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Extension: Assumption 1 violated (rate varies with load) ==")
+		fmt.Printf("mean time-0 relative error: single %.0f%%, multi %.0f%%\n",
+			res.ErrSingle*100, res.ErrMulti*100)
+		fmt.Println("(the PI still assumes the constant nominal C; §4.1 predicts multi stays superior)")
+		return nil
+	})
+
+	step("maint", func() error {
+		res, err := experiments.RunMaintenance(experiments.MaintenanceConfig{Seed: *seed, Runs: *runs, Data: data})
+		if err != nil {
+			return err
+		}
+		saveCSV("figure11", &res.Fig11)
+		fmt.Print(res.Fig11.Render())
+		fmt.Printf("\nsingle-PI method at t=tfinish: UW/TW=%.2f (paper: 0.67)\n", res.SingleAtTFinish)
+		fmt.Printf("multi-PI improvement vs no-PI: %.3f, vs single-PI: %.3f, excess over limit: %.3f (t<tfinish averages)\n",
+			res.MultiVsNoPI, res.MultiVsSingle, res.MultiVsLimit)
+		return nil
+	})
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "mqpi-bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

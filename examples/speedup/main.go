@@ -1,0 +1,93 @@
+// Speed-up advisor: the victim-selection problems of §3.1 and §3.2. Given a
+// set of running queries, which one should be blocked to speed up a target
+// query — and does the advice actually pay off? This example takes the
+// advice, blocks the victim for real, and compares against a replay without
+// intervention.
+//
+//	go run ./examples/speedup
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mqpi/internal/sched"
+	"mqpi/internal/wm"
+	"mqpi/internal/workload"
+)
+
+// scenario builds the same five-query workload every time (deterministic),
+// returning the server and the queries.
+func scenario() (*sched.Server, []*sched.Query) {
+	ds, err := workload.BuildDataset(workload.DataConfig{LineitemRows: 30000, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	srv := sched.New(sched.Config{RateC: 50, Quantum: 0.5})
+	sizes := []int{8, 25, 12, 30, 5}
+	var queries []*sched.Query
+	for i, n := range sizes {
+		if err := ds.CreatePartTable(i+1, n); err != nil {
+			log.Fatal(err)
+		}
+		runner, err := ds.DB.Prepare(workload.QuerySQL(i + 1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		runner.CollectRows = false
+		if _, _, err := runner.Step(rng.Float64() * 0.5 * runner.Plan().EstCost()); err != nil {
+			log.Fatal(err)
+		}
+		q := srv.NewQuery(fmt.Sprintf("Q%d(N=%d)", i+1, n), "", 0, runner)
+		queries = append(queries, q)
+		srv.Submit(q)
+	}
+	return srv, queries
+}
+
+func main() {
+	// Baseline: nobody is blocked.
+	srv, queries := scenario()
+	target := queries[2] // speed up Q3
+	targetID := target.ID
+	srv.RunUntilIdle(1e9)
+	baseline := target.FinishTime
+	fmt.Printf("target %s finishes at %.1fs with no intervention\n\n", target.Label, baseline)
+
+	// Advice from the stage model (§3.1).
+	srv, queries = scenario()
+	target = queries[2]
+	states := srv.StateRunning()
+	victims, err := wm.SpeedUpSingle(states, srv.RateC(), target.ID, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("victim candidates for speeding up the target (§3.1):")
+	for _, v := range victims {
+		q, _ := srv.Lookup(v.ID)
+		fmt.Printf("  block %-10s -> predicted %5.1fs faster\n", q.Label, v.Benefit)
+	}
+
+	// Take the advice: block the best victim and measure.
+	best := victims[0]
+	if err := srv.Block(best.ID); err != nil {
+		log.Fatal(err)
+	}
+	srv.RunUntilIdle(1e9)
+	blocked, _ := srv.Lookup(best.ID)
+	fmt.Printf("\nafter blocking %s, the target finished at %.1fs (%.1fs faster; predicted %.1fs)\n",
+		blocked.Label, target.FinishTime, baseline-target.FinishTime, best.Benefit)
+
+	// And the multiple-query variant (§3.2): which victim helps everyone?
+	srv, _ = scenario()
+	v, err := wm.SpeedUpOthers(srv.StateRunning(), srv.RateC())
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, _ := srv.Lookup(v.ID)
+	fmt.Printf("\nto speed up all other queries (§3.2): block %s (total response time improves %.1fs)\n",
+		q.Label, v.Benefit)
+	_ = targetID
+}

@@ -1,0 +1,3 @@
+module mqpi
+
+go 1.22

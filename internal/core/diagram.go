@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// StageDiagram renders a Profile as the ASCII equivalent of the paper's
+// Figures 1 and 2: one row per query, columns are time, and each cell's
+// glyph height encodes the query's execution speed during that stage (taller
+// block = faster). A blocked query renders as a flat line.
+//
+// Example (four equal-priority queries, Figure 1):
+//
+//	Q1 ▁▁▁▁|
+//	Q2 ▁▁▁▁|▂▂▂|
+//	Q3 ▁▁▁▁|▂▂▂|▄▄|
+//	Q4 ▁▁▁▁|▂▂▂|▄▄|█|
+//	    t1   t2  t3 t4
+func StageDiagram(states []QueryState, C float64, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	prof := ComputeProfile(states, C)
+	if len(prof.Order) == 0 {
+		return "(no runnable queries)\n"
+	}
+	total := prof.QuiescentTime()
+	if total <= 0 {
+		return "(all queries already finished)\n"
+	}
+
+	byID := make(map[int]QueryState, len(states))
+	for _, q := range states {
+		byID[q.ID] = q
+	}
+	// Suffix weights per stage determine speeds: during stage k the
+	// remaining queries share C by weight.
+	suffixW := make([]float64, len(prof.Order)+1)
+	for i := len(prof.Order) - 1; i >= 0; i-- {
+		suffixW[i] = suffixW[i+1] + byID[prof.Order[i]].Weight
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+
+	var b strings.Builder
+	// Render rows in finish order, like the paper's figures.
+	for qi, id := range prof.Order {
+		fmt.Fprintf(&b, "%-6s ", fmt.Sprintf("Q%d", id))
+		for stage := 0; stage <= qi; stage++ {
+			dur := prof.StageDur[stage]
+			cells := int(math.Round(dur / total * float64(width)))
+			if cells == 0 && dur > 0 {
+				cells = 1
+			}
+			speed := C * byID[id].Weight / suffixW[stage]
+			level := int(speed / C * float64(len(glyphs)))
+			if level >= len(glyphs) {
+				level = len(glyphs) - 1
+			}
+			b.WriteString(strings.Repeat(string(glyphs[level]), cells))
+			if stage == qi {
+				b.WriteByte('|')
+			}
+		}
+		fmt.Fprintf(&b, "  finishes at %.1fs\n", prof.Finish[id])
+	}
+	// Blocked queries (never finish) render as flat lines.
+	blockedIDs := make([]int, 0)
+	for _, q := range states {
+		if q.Weight <= 0 {
+			blockedIDs = append(blockedIDs, q.ID)
+		}
+	}
+	sort.Ints(blockedIDs)
+	for _, id := range blockedIDs {
+		fmt.Fprintf(&b, "%-6s %s  blocked\n", fmt.Sprintf("Q%d", id), strings.Repeat("·", width))
+	}
+	fmt.Fprintf(&b, "%-6s 0s%ss\n", "", strings.Repeat("-", width-4)+fmt.Sprintf("%.1f", total))
+	return b.String()
+}

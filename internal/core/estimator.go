@@ -1,0 +1,92 @@
+package core
+
+import "math"
+
+// SingleQueryRemainingTime is the single-query PI of [11, 12] that the paper
+// compares against: t = c/s, where c is the refined remaining cost and s is
+// the query's currently observed execution speed. It implicitly reflects
+// concurrent queries (the observed speed is lower when they run) but assumes
+// the current speed persists until the query finishes.
+func SingleQueryRemainingTime(remaining, observedSpeed float64) float64 {
+	if remaining <= 0 {
+		return 0
+	}
+	if observedSpeed <= 0 {
+		return math.Inf(1)
+	}
+	return remaining / observedSpeed
+}
+
+// MultiQueryRemainingTimes is the multi-query PI for the standard case of
+// Section 2.2: no admission queue, no future arrivals. It returns the
+// predicted remaining execution time for every query in states.
+func MultiQueryRemainingTimes(states []QueryState, C float64) map[int]float64 {
+	return ComputeProfile(states, C).Finish
+}
+
+// MultiQueryWithQueue extends the estimate with the admission queue
+// (Section 2.3): queued queries are known future load, so their admission —
+// and the slowdown they cause — is simulated.
+func MultiQueryWithQueue(running, queued []QueryState, mpl int, C float64) map[int]float64 {
+	return SimulateProfile(running, C, SimOptions{MPL: mpl, Queued: queued}).Finish
+}
+
+// MultiQueryWithFuture extends the estimate with predicted future arrivals
+// (Section 2.4): every 1/λ seconds a query of average cost and priority is
+// assumed to arrive. The admission queue, if any, is honored too.
+func MultiQueryWithFuture(running, queued []QueryState, mpl int, C float64, am ArrivalModel) map[int]float64 {
+	return SimulateProfile(running, C, SimOptions{MPL: mpl, Queued: queued, Arrivals: &am}).Finish
+}
+
+// SpeedTracker observes a query's execution speed over a sliding window of
+// virtual time, the way the single-query PI "continuously monitors the
+// current query execution speed". Samples must be added with nondecreasing
+// timestamps.
+type SpeedTracker struct {
+	window  float64
+	times   []float64
+	work    []float64
+	headIdx int
+}
+
+// NewSpeedTracker creates a tracker with the given window in seconds.
+func NewSpeedTracker(window float64) *SpeedTracker {
+	if window <= 0 {
+		window = 10
+	}
+	return &SpeedTracker{window: window}
+}
+
+// Observe records cumulative work done at time now.
+func (t *SpeedTracker) Observe(now, cumWork float64) {
+	t.times = append(t.times, now)
+	t.work = append(t.work, cumWork)
+	// Drop samples older than the window, keeping at least two.
+	for t.headIdx < len(t.times)-1 && t.times[t.headIdx+1] <= now-t.window {
+		t.headIdx++
+	}
+	// Compact occasionally so memory stays bounded.
+	if t.headIdx > 1024 {
+		t.times = append([]float64(nil), t.times[t.headIdx:]...)
+		t.work = append([]float64(nil), t.work[t.headIdx:]...)
+		t.headIdx = 0
+	}
+}
+
+// Speed returns the observed speed in U/s over the window, or 0 if fewer
+// than two samples (or no time) have been observed.
+func (t *SpeedTracker) Speed() float64 {
+	n := len(t.times)
+	if n-t.headIdx < 2 {
+		return 0
+	}
+	dt := t.times[n-1] - t.times[t.headIdx]
+	if dt <= 0 {
+		return 0
+	}
+	dw := t.work[n-1] - t.work[t.headIdx]
+	if dw < 0 {
+		return 0
+	}
+	return dw / dt
+}

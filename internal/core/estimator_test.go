@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSingleQueryRemainingTime(t *testing.T) {
+	if got := SingleQueryRemainingTime(100, 10); got != 10 {
+		t.Errorf("c/s = %g", got)
+	}
+	if got := SingleQueryRemainingTime(0, 10); got != 0 {
+		t.Errorf("zero cost = %g", got)
+	}
+	if got := SingleQueryRemainingTime(-5, 10); got != 0 {
+		t.Errorf("negative cost = %g", got)
+	}
+	if got := SingleQueryRemainingTime(100, 0); !math.IsInf(got, 1) {
+		t.Errorf("zero speed = %g", got)
+	}
+}
+
+func TestMultiQueryRemainingTimesWrapper(t *testing.T) {
+	states := []QueryState{
+		{ID: 1, Remaining: 100, Weight: 1},
+		{ID: 2, Remaining: 300, Weight: 1},
+	}
+	est := MultiQueryRemainingTimes(states, 100)
+	// Q1: 100 U at 50 U/s -> 2s. Q2: 200 U left at 100 U/s -> finishes at 4s
+	// (work conservation: 400 U total / 100 U/s).
+	if est[1] != 2 || est[2] != 4 {
+		t.Errorf("estimates: %v", est)
+	}
+}
+
+func TestMultiQueryWithQueueWrapper(t *testing.T) {
+	running := []QueryState{{ID: 1, Remaining: 100, Weight: 1}}
+	queued := []QueryState{{ID: 2, Remaining: 100, Weight: 1}}
+	est := MultiQueryWithQueue(running, queued, 1, 100)
+	if est[1] != 1 || est[2] != 2 {
+		t.Errorf("estimates: %v", est)
+	}
+}
+
+func TestMultiQueryWithFutureWrapper(t *testing.T) {
+	running := []QueryState{{ID: 1, Remaining: 1000, Weight: 1}}
+	am := ArrivalModel{Lambda: 0.1, AvgCost: 100, AvgWeight: 1}
+	withF := MultiQueryWithFuture(running, nil, 0, 10, am)
+	without := MultiQueryRemainingTimes(running, 10)
+	if withF[1] <= without[1] {
+		t.Errorf("future arrivals should slow the estimate: %g vs %g", withF[1], without[1])
+	}
+}
+
+func TestSpeedTrackerBasic(t *testing.T) {
+	tr := NewSpeedTracker(10)
+	if tr.Speed() != 0 {
+		t.Error("empty tracker should report 0")
+	}
+	tr.Observe(0, 0)
+	if tr.Speed() != 0 {
+		t.Error("single sample should report 0")
+	}
+	tr.Observe(1, 50)
+	tr.Observe(2, 100)
+	if got := tr.Speed(); got != 50 {
+		t.Errorf("speed = %g, want 50", got)
+	}
+}
+
+func TestSpeedTrackerWindow(t *testing.T) {
+	tr := NewSpeedTracker(10)
+	// 0..20s at 10 U/s, then 20..30s at 100 U/s.
+	for i := 0; i <= 20; i++ {
+		tr.Observe(float64(i), float64(i*10))
+	}
+	for i := 21; i <= 30; i++ {
+		tr.Observe(float64(i), 200+float64(i-20)*100)
+	}
+	got := tr.Speed()
+	if math.Abs(got-100) > 1 {
+		t.Errorf("windowed speed = %g, want ~100 (old samples must roll off)", got)
+	}
+}
+
+func TestSpeedTrackerZeroTimeDelta(t *testing.T) {
+	tr := NewSpeedTracker(10)
+	tr.Observe(5, 10)
+	tr.Observe(5, 20)
+	if got := tr.Speed(); got != 0 {
+		t.Errorf("zero-dt speed = %g", got)
+	}
+}
+
+func TestSpeedTrackerCompaction(t *testing.T) {
+	tr := NewSpeedTracker(5)
+	// Force many samples so compaction triggers; speed must stay correct.
+	for i := 0; i < 5000; i++ {
+		tr.Observe(float64(i), float64(i)*7)
+	}
+	if got := tr.Speed(); math.Abs(got-7) > 1e-6 {
+		t.Errorf("speed after compaction = %g, want 7", got)
+	}
+}
+
+func TestSpeedTrackerDefaultWindow(t *testing.T) {
+	tr := NewSpeedTracker(0) // defaults to 10s
+	tr.Observe(0, 0)
+	tr.Observe(1, 5)
+	if tr.Speed() != 5 {
+		t.Errorf("speed = %g", tr.Speed())
+	}
+}
+
+// TestMultiQueryWithFutureAndQueueCombined: §2.3 and §2.4 compose — a
+// queued query plus predicted arrivals both push the estimate out.
+func TestMultiQueryWithFutureAndQueueCombined(t *testing.T) {
+	running := []QueryState{{ID: 1, Remaining: 1000, Weight: 1}}
+	queued := []QueryState{{ID: 2, Remaining: 500, Weight: 1}}
+	am := ArrivalModel{Lambda: 0.02, AvgCost: 300, AvgWeight: 1}
+	plain := MultiQueryRemainingTimes(running, 10)[1]
+	queueOnly := MultiQueryWithQueue(running, queued, 1, 10)[1]
+	both := MultiQueryWithFuture(running, queued, 1, 10, am)[1]
+	// Extra load can only delay estimates, never improve them.
+	if queueOnly < plain {
+		t.Errorf("queue should never speed things up: %g < %g", queueOnly, plain)
+	}
+	if both < queueOnly {
+		t.Errorf("arrivals should never speed things up: %g < %g", both, queueOnly)
+	}
+	// The queued query's own estimate accounts for waiting.
+	if q2 := MultiQueryWithQueue(running, queued, 1, 10)[2]; q2 <= queueOnly {
+		t.Errorf("queued query finishes after the running one: %g <= %g", q2, queueOnly)
+	}
+}

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool {
+	if math.IsInf(a, 1) && math.IsInf(b, 1) {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-6*(1+math.Abs(a)+math.Abs(b))
+}
+
+// TestProfileFigure1 reproduces the paper's Figure 1 setting: n equal-
+// priority queries finish in ascending remaining-cost order, one per stage.
+func TestProfileFigure1(t *testing.T) {
+	states := []QueryState{
+		{ID: 1, Remaining: 100, Weight: 1},
+		{ID: 2, Remaining: 200, Weight: 1},
+		{ID: 3, Remaining: 300, Weight: 1},
+		{ID: 4, Remaining: 400, Weight: 1},
+	}
+	C := 100.0
+	p := ComputeProfile(states, C)
+	if len(p.Order) != 4 {
+		t.Fatalf("order: %v", p.Order)
+	}
+	for i, id := range []int{1, 2, 3, 4} {
+		if p.Order[i] != id {
+			t.Fatalf("finish order: %v", p.Order)
+		}
+	}
+	// Stage 1: Q1 runs at C/4=25: t1 = 100/25 = 4.
+	// Stage 2: Q2 has 200-100=100 left at C/3: t2 = 3.
+	// Stage 3: Q3 has 300-200=100 left at C/2: t3 = 2.
+	// Stage 4: Q4 has 400-300=100 left at C:   t4 = 1.
+	wantDur := []float64{4, 3, 2, 1}
+	for i, w := range wantDur {
+		if !almostEq(p.StageDur[i], w) {
+			t.Errorf("t%d = %g, want %g", i+1, p.StageDur[i], w)
+		}
+	}
+	wantFinish := map[int]float64{1: 4, 2: 7, 3: 9, 4: 10}
+	for id, w := range wantFinish {
+		if !almostEq(p.Finish[id], w) {
+			t.Errorf("r%d = %g, want %g", id, p.Finish[id], w)
+		}
+	}
+	// Work conservation: quiescent time = total work / C.
+	if !almostEq(p.QuiescentTime(), 10) {
+		t.Errorf("quiescent = %g", p.QuiescentTime())
+	}
+}
+
+// TestProfileWeights checks Assumption 3: speed proportional to weight.
+func TestProfileWeights(t *testing.T) {
+	states := []QueryState{
+		{ID: 1, Remaining: 100, Weight: 3}, // ratio 33.3
+		{ID: 2, Remaining: 100, Weight: 1}, // ratio 100
+	}
+	C := 4.0
+	p := ComputeProfile(states, C)
+	// Q1 runs at 3 U/s: finishes at 33.33s. Then Q2 (66.67 left) at 4 U/s:
+	// finishes at 33.33 + 16.67 = 50.
+	if !almostEq(p.Finish[1], 100.0/3) {
+		t.Errorf("r1 = %g", p.Finish[1])
+	}
+	if !almostEq(p.Finish[2], 50) {
+		t.Errorf("r2 = %g", p.Finish[2])
+	}
+}
+
+func TestProfileEdgeCases(t *testing.T) {
+	// Zero C: everything unfinishable.
+	p := ComputeProfile([]QueryState{{ID: 1, Remaining: 10, Weight: 1}}, 0)
+	if !math.IsInf(p.Finish[1], 1) {
+		t.Errorf("C=0 finish = %g", p.Finish[1])
+	}
+	// Blocked query (weight 0) never finishes; others unaffected by it.
+	p = ComputeProfile([]QueryState{
+		{ID: 1, Remaining: 10, Weight: 0},
+		{ID: 2, Remaining: 10, Weight: 1},
+	}, 10)
+	if !math.IsInf(p.Finish[1], 1) {
+		t.Errorf("blocked query finish = %g", p.Finish[1])
+	}
+	if !almostEq(p.Finish[2], 1) {
+		t.Errorf("runnable query finish = %g", p.Finish[2])
+	}
+	// Zero-remaining query finishes immediately.
+	p = ComputeProfile([]QueryState{
+		{ID: 1, Remaining: 0, Weight: 1},
+		{ID: 2, Remaining: 10, Weight: 1},
+	}, 10)
+	if !almostEq(p.Finish[1], 0) {
+		t.Errorf("empty query finish = %g", p.Finish[1])
+	}
+	if !almostEq(p.Finish[2], 1) {
+		t.Errorf("r2 = %g (empty peer should cost no time)", p.Finish[2])
+	}
+	// Negative remaining is clamped.
+	p = ComputeProfile([]QueryState{{ID: 1, Remaining: -5, Weight: 1}}, 10)
+	if !almostEq(p.Finish[1], 0) {
+		t.Errorf("negative remaining: %g", p.Finish[1])
+	}
+	// Empty input.
+	p = ComputeProfile(nil, 10)
+	if len(p.Order) != 0 || p.QuiescentTime() != 0 {
+		t.Errorf("empty profile: %+v", p)
+	}
+}
+
+// TestSimulationMatchesClosedForm is the central cross-check: the event
+// simulation with no queue and no arrivals must agree with the closed-form
+// stage algorithm on random inputs.
+func TestSimulationMatchesClosedForm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		states := make([]QueryState, n)
+		for i := range states {
+			states[i] = QueryState{
+				ID:        i + 1,
+				Remaining: rng.Float64() * 1000,
+				Weight:    0.5 + 2*rng.Float64(),
+			}
+		}
+		C := 10 + 100*rng.Float64()
+		closed := ComputeProfile(states, C)
+		sim := SimulateProfile(states, C, SimOptions{})
+		for id, want := range closed.Finish {
+			if !almostEq(sim.Finish[id], want) {
+				t.Logf("seed %d id %d: sim %g, closed %g", seed, id, sim.Finish[id], want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimulateWithQueue reproduces the NAQ setting analytically: MPL 2,
+// three queries with costs 50k, 10k, 20k (NAQ's N-proportional costs).
+func TestSimulateWithQueue(t *testing.T) {
+	C := 70.0
+	running := []QueryState{
+		{ID: 1, Remaining: 5000, Weight: 1},
+		{ID: 2, Remaining: 1000, Weight: 1},
+	}
+	queued := []QueryState{{ID: 3, Remaining: 2000, Weight: 1}}
+	p := SimulateProfile(running, C, SimOptions{MPL: 2, Queued: queued})
+	// Q2 finishes at 2×1000/70 = 28.57. Q3 admitted, finishes 28.57 + 2×2000/70
+	// = 85.71. Q1: work conservation → 8000/70 = 114.29.
+	if !almostEq(p.Finish[2], 2000.0/70) {
+		t.Errorf("r2 = %g", p.Finish[2])
+	}
+	if !almostEq(p.Finish[3], 2000.0/70+4000.0/70) {
+		t.Errorf("r3 = %g", p.Finish[3])
+	}
+	if !almostEq(p.Finish[1], 8000.0/70) {
+		t.Errorf("r1 = %g", p.Finish[1])
+	}
+}
+
+// TestQueueAwareBeatsQueueBlind: when the queue is non-empty, the queue-aware
+// profile must predict a later finish for the long-running query than the
+// queue-blind profile (which misses the extra load) — the Figure 5 effect.
+func TestQueueAwareBeatsQueueBlind(t *testing.T) {
+	C := 70.0
+	running := []QueryState{
+		{ID: 1, Remaining: 5000, Weight: 1},
+		{ID: 2, Remaining: 1000, Weight: 1},
+	}
+	queued := []QueryState{{ID: 3, Remaining: 2000, Weight: 1}}
+	blind := ComputeProfile(running, C)
+	aware := SimulateProfile(running, C, SimOptions{MPL: 2, Queued: queued})
+	if aware.Finish[1] <= blind.Finish[1] {
+		t.Errorf("queue-aware %g should exceed queue-blind %g", aware.Finish[1], blind.Finish[1])
+	}
+	// Exactly the queued query's drain time longer (work conservation).
+	if !almostEq(aware.Finish[1]-blind.Finish[1], 2000.0/70) {
+		t.Errorf("delta = %g", aware.Finish[1]-blind.Finish[1])
+	}
+}
+
+// TestQueueUnlimitedMPLAdmitsImmediately: MPL 0 means no admission limit.
+func TestQueueUnlimitedMPLAdmitsImmediately(t *testing.T) {
+	running := []QueryState{{ID: 1, Remaining: 100, Weight: 1}}
+	queued := []QueryState{{ID: 2, Remaining: 100, Weight: 1}}
+	p := SimulateProfile(running, 10, SimOptions{Queued: queued})
+	// Both share from t=0: both finish at 20.
+	if !almostEq(p.Finish[1], 20) || !almostEq(p.Finish[2], 20) {
+		t.Errorf("finish: %g, %g", p.Finish[1], p.Finish[2])
+	}
+}
+
+// TestFutureArrivalsSlowDown: predicted arrivals must strictly increase the
+// estimate for queries that finish after the first arrival, and the effect
+// must grow with λ'.
+func TestFutureArrivalsSlowDown(t *testing.T) {
+	states := []QueryState{
+		{ID: 1, Remaining: 100, Weight: 1},
+		{ID: 2, Remaining: 2000, Weight: 1},
+	}
+	C := 10.0
+	base := ComputeProfile(states, C).Finish[2]
+	prev := base
+	for _, lambda := range []float64{0.005, 0.01, 0.02} {
+		am := ArrivalModel{Lambda: lambda, AvgCost: 200, AvgWeight: 1}
+		got := SimulateProfile(states, C, SimOptions{Arrivals: &am}).Finish[2]
+		if got <= prev {
+			t.Errorf("λ=%g: finish %g should exceed %g", lambda, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestFutureArrivalsRespectWindow: arrivals beyond the window are ignored,
+// keeping the estimate finite even for absurd λ'.
+func TestFutureArrivalsRespectWindow(t *testing.T) {
+	states := []QueryState{{ID: 1, Remaining: 1000, Weight: 1}}
+	C := 10.0
+	am := ArrivalModel{Lambda: 10, AvgCost: 1000, AvgWeight: 1} // 100× overload
+	p := SimulateProfile(states, C, SimOptions{Arrivals: &am})
+	got := p.Finish[1]
+	if math.IsInf(got, 1) || math.IsNaN(got) {
+		t.Fatalf("estimate must stay finite, got %g", got)
+	}
+	if got <= 100 {
+		t.Errorf("arrivals ignored entirely: %g", got)
+	}
+	// With an explicit tiny window, only ~window×λ arrivals are injected.
+	small := SimulateProfile(states, C, SimOptions{
+		Arrivals:      &ArrivalModel{Lambda: 10, AvgCost: 1000, AvgWeight: 1},
+		ArrivalWindow: 0.05, // before the first 0.1s arrival
+	})
+	if !almostEq(small.Finish[1], 100) {
+		t.Errorf("window=0.05 should see no arrivals: %g", small.Finish[1])
+	}
+}
+
+// TestArrivalsZeroLambdaIsNoop: a zero-rate arrival model changes nothing.
+func TestArrivalsZeroLambdaIsNoop(t *testing.T) {
+	states := []QueryState{{ID: 1, Remaining: 500, Weight: 1}}
+	am := ArrivalModel{Lambda: 0, AvgCost: 100, AvgWeight: 1}
+	got := SimulateProfile(states, 10, SimOptions{Arrivals: &am}).Finish[1]
+	if !almostEq(got, 50) {
+		t.Errorf("finish = %g, want 50", got)
+	}
+}
+
+// TestSimulateAllBlocked: if every admitted query is blocked, nothing
+// finishes and queued queries never start.
+func TestSimulateAllBlocked(t *testing.T) {
+	running := []QueryState{{ID: 1, Remaining: 10, Weight: 0}}
+	queued := []QueryState{{ID: 2, Remaining: 10, Weight: 1}}
+	p := SimulateProfile(running, 10, SimOptions{MPL: 1, Queued: queued})
+	if !math.IsInf(p.Finish[1], 1) || !math.IsInf(p.Finish[2], 1) {
+		t.Errorf("finish: %v", p.Finish)
+	}
+}
+
+// TestWorkConservation: for any instance, the quiescent time equals total
+// work / C regardless of weights (weighted fair sharing is work-conserving).
+func TestWorkConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		total := 0.0
+		states := make([]QueryState, n)
+		for i := range states {
+			c := rng.Float64() * 500
+			total += c
+			states[i] = QueryState{ID: i + 1, Remaining: c, Weight: 0.1 + rng.Float64()}
+		}
+		C := 5 + 50*rng.Float64()
+		p := ComputeProfile(states, C)
+		return almostEq(p.QuiescentTime(), total/C)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFinishOrderMatchesRatio: finish order is ascending c/w (paper's
+// equation 1), for any weights.
+func TestFinishOrderMatchesRatio(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		states := make([]QueryState, n)
+		for i := range states {
+			states[i] = QueryState{ID: i + 1, Remaining: 1 + rng.Float64()*500, Weight: 0.1 + rng.Float64()}
+		}
+		C := 10.0
+		p := ComputeProfile(states, C)
+		byID := make(map[int]QueryState, n)
+		for _, q := range states {
+			byID[q.ID] = q
+		}
+		for i := 1; i < len(p.Order); i++ {
+			a, b := byID[p.Order[i-1]], byID[p.Order[i]]
+			if a.Remaining/a.Weight > b.Remaining/b.Weight+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStageDiagram(t *testing.T) {
+	states := []QueryState{
+		{ID: 1, Remaining: 100, Weight: 1},
+		{ID: 2, Remaining: 200, Weight: 1},
+		{ID: 3, Remaining: 300, Weight: 1},
+		{ID: 4, Remaining: 400, Weight: 1},
+	}
+	out := StageDiagram(states, 100, 40)
+	for _, frag := range []string{"Q1", "Q4", "finishes at 4.0s", "finishes at 10.0s"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("diagram missing %q:\n%s", frag, out)
+		}
+	}
+	// A blocked query renders as a flat line (the Figure 2 case).
+	blocked := append([]QueryState{{ID: 5, Remaining: 500, Weight: 0}}, states...)
+	out = StageDiagram(blocked, 100, 40)
+	if !strings.Contains(out, "blocked") {
+		t.Errorf("blocked row missing:\n%s", out)
+	}
+	// Degenerate inputs.
+	if out := StageDiagram(nil, 100, 0); !strings.Contains(out, "no runnable") {
+		t.Errorf("empty diagram: %q", out)
+	}
+	if out := StageDiagram([]QueryState{{ID: 1, Remaining: 0, Weight: 1}}, 100, 10); !strings.Contains(out, "finished") {
+		t.Errorf("zero-work diagram: %q", out)
+	}
+}
+
+// TestAdversarialInputsNeverPanicOrHang: NaN, Inf, and negative states must
+// produce finite-time, panic-free results from both algorithms.
+func TestAdversarialInputsNeverPanicOrHang(t *testing.T) {
+	poison := []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1, 0, 1e308, 5}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(6)
+		states := make([]QueryState, n)
+		for i := range states {
+			states[i] = QueryState{
+				ID:        i + 1,
+				Remaining: poison[rng.Intn(len(poison))],
+				Weight:    poison[rng.Intn(len(poison))],
+				Done:      poison[rng.Intn(len(poison))],
+			}
+		}
+		C := poison[rng.Intn(len(poison))]
+		p := ComputeProfile(states, C)
+		for id, f := range p.Finish {
+			if math.IsNaN(f) {
+				t.Fatalf("trial %d: NaN finish for %d (states %+v, C=%g)", trial, id, states, C)
+			}
+		}
+		var queued []QueryState
+		if n > 1 {
+			queued = states[n-1:]
+		}
+		am := &ArrivalModel{Lambda: rng.Float64() * 0.1, AvgCost: poison[rng.Intn(len(poison))], AvgWeight: 1}
+		sp := SimulateProfile(states[:n-len(queued)], C, SimOptions{MPL: rng.Intn(3), Queued: queued, Arrivals: am})
+		for id, f := range sp.Finish {
+			if math.IsNaN(f) {
+				t.Fatalf("trial %d: NaN sim finish for %d", trial, id)
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package catalog
+
+import "sort"
+
+// HistogramBuckets is the number of equi-depth buckets ANALYZE builds per
+// numeric column (PostgreSQL's default-statistics-target spirit, scaled to
+// this engine).
+const HistogramBuckets = 16
+
+// Histogram is an equi-depth histogram over a numeric column: Bounds has
+// HistogramBuckets+1 entries; each bucket [Bounds[i], Bounds[i+1]] holds the
+// same number of values. It drives range-selectivity estimation.
+type Histogram struct {
+	Bounds []float64
+}
+
+// BuildHistogram constructs an equi-depth histogram from a sample of the
+// column's non-NULL numeric values. It returns nil when there are too few
+// values to be useful.
+func BuildHistogram(values []float64) *Histogram {
+	if len(values) < HistogramBuckets {
+		return nil
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	bounds := make([]float64, HistogramBuckets+1)
+	for i := 0; i <= HistogramBuckets; i++ {
+		pos := i * (len(sorted) - 1) / HistogramBuckets
+		bounds[i] = sorted[pos]
+	}
+	return &Histogram{Bounds: bounds}
+}
+
+// FracBelow estimates the fraction of column values strictly below v by
+// locating v's bucket and interpolating linearly within it.
+func (h *Histogram) FracBelow(v float64) float64 {
+	n := len(h.Bounds) - 1
+	if n < 1 {
+		return 0.5
+	}
+	if v <= h.Bounds[0] {
+		return 0
+	}
+	if v >= h.Bounds[n] {
+		return 1
+	}
+	// Find the bucket containing v.
+	i := sort.SearchFloat64s(h.Bounds, v)
+	// h.Bounds[i-1] <= v <(=) h.Bounds[i] after the search (i >= 1 because
+	// v > Bounds[0]).
+	lo, hi := h.Bounds[i-1], h.Bounds[i]
+	frac := float64(i-1) / float64(n)
+	if hi > lo {
+		frac += (v - lo) / (hi - lo) / float64(n)
+	}
+	if frac < 0 {
+		return 0
+	}
+	if frac > 1 {
+		return 1
+	}
+	return frac
+}

@@ -1,0 +1,102 @@
+package catalog
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildHistogramTooFewValues(t *testing.T) {
+	if h := BuildHistogram([]float64{1, 2, 3}); h != nil {
+		t.Error("tiny inputs should not build a histogram")
+	}
+	if h := BuildHistogram(nil); h != nil {
+		t.Error("nil input should not build a histogram")
+	}
+}
+
+func TestHistogramUniform(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	h := BuildHistogram(vals)
+	if h == nil {
+		t.Fatal("no histogram")
+	}
+	for _, v := range []float64{100, 250, 500, 900} {
+		got := h.FracBelow(v)
+		want := v / 999
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("FracBelow(%g) = %g, want ~%g", v, got, want)
+		}
+	}
+	if h.FracBelow(-1) != 0 || h.FracBelow(1e9) != 1 {
+		t.Error("out-of-range fractions must clamp")
+	}
+}
+
+// TestHistogramSkewedBeatsMinMax: on heavily skewed data (most mass near 0,
+// one huge outlier), the histogram estimate is accurate while min/max
+// interpolation is off by orders of magnitude — the reason ANALYZE builds
+// histograms at all.
+func TestHistogramSkewedBeatsMinMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 2000)
+	for i := range vals {
+		vals[i] = rng.Float64() // mass in [0,1]
+	}
+	vals[0] = 1e6 // outlier stretches min/max
+	h := BuildHistogram(vals)
+	if h == nil {
+		t.Fatal("no histogram")
+	}
+	// True fraction below 0.5 is ~0.5; min/max interpolation says ~0.5/1e6.
+	got := h.FracBelow(0.5)
+	if math.Abs(got-0.5) > 0.1 {
+		t.Errorf("FracBelow(0.5) = %g, want ~0.5", got)
+	}
+	minMax := 0.5 / 1e6
+	if math.Abs(minMax-0.5) < math.Abs(got-0.5) {
+		t.Error("histogram should beat min/max interpolation here")
+	}
+}
+
+// Property: FracBelow is monotone nondecreasing and bounded in [0,1], and
+// roughly matches the empirical CDF.
+func TestHistogramMonotoneQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := HistogramBuckets + rng.Intn(500)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * float64(1+rng.Intn(100))
+		}
+		h := BuildHistogram(vals)
+		if h == nil {
+			return false
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		prev := -1.0
+		for i := 0; i <= 50; i++ {
+			v := sorted[0] + (sorted[len(sorted)-1]-sorted[0])*float64(i)/50
+			frac := h.FracBelow(v)
+			if frac < prev-1e-12 || frac < 0 || frac > 1 {
+				return false
+			}
+			prev = frac
+			// Empirical CDF within a bucket and a half.
+			emp := float64(sort.SearchFloat64s(sorted, v)) / float64(len(sorted))
+			if math.Abs(frac-emp) > 1.5/HistogramBuckets+0.05 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,221 @@
+package exec
+
+import (
+	"fmt"
+
+	"mqpi/internal/engine/plan"
+	"mqpi/internal/engine/sql"
+	"mqpi/internal/engine/types"
+)
+
+type row = types.Row
+
+// EvalExpr evaluates a bound expression against a row — the public entry
+// point DELETE/UPDATE execution uses to run predicates and SET expressions
+// (including any embedded sub-plans) outside a full operator tree.
+func EvalExpr(e plan.Expr, r types.Row, ctx *Ctx) (types.Value, error) {
+	return evalExpr(e, r, ctx)
+}
+
+// evalExpr evaluates a bound expression against the current row with SQL
+// three-valued logic. Scalar sub-plans execute inline, charging their work
+// to the context's meter — this is how the paper's correlated sub-query
+// dominates its query's cost.
+func evalExpr(e plan.Expr, r row, ctx *Ctx) (types.Value, error) {
+	switch x := e.(type) {
+	case plan.ColIdx:
+		if x.Idx >= len(r) {
+			return types.Null, fmt.Errorf("exec: column index %d out of range (row width %d)", x.Idx, len(r))
+		}
+		return r[x.Idx], nil
+	case plan.OuterCol:
+		pos := len(ctx.Outer) - x.Level
+		if pos < 0 || pos >= len(ctx.Outer) {
+			return types.Null, fmt.Errorf("exec: outer reference level %d with %d outer rows", x.Level, len(ctx.Outer))
+		}
+		or := ctx.Outer[pos]
+		if x.Idx >= len(or) {
+			return types.Null, fmt.Errorf("exec: outer column index %d out of range", x.Idx)
+		}
+		return or[x.Idx], nil
+	case plan.Const:
+		return x.Val, nil
+	case plan.BinaryExpr:
+		return evalBinary(x, r, ctx)
+	case plan.NotExpr:
+		v, err := evalExpr(x.X, r, ctx)
+		if err != nil {
+			return types.Null, err
+		}
+		if v.IsNull() {
+			return types.Null, nil
+		}
+		return types.NewBool(!v.Truthy()), nil
+	case plan.NegExpr:
+		v, err := evalExpr(x.X, r, ctx)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.Arith(types.OpSub, types.NewInt(0), v)
+	case plan.IsNullExpr:
+		v, err := evalExpr(x.X, r, ctx)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewBool(v.IsNull() != x.Negate), nil
+	case plan.SubplanExpr:
+		return evalSubplan(x, r, ctx)
+	case plan.ExistsExpr:
+		return evalExists(x, r, ctx)
+	default:
+		return types.Null, fmt.Errorf("exec: unsupported expression %T", e)
+	}
+}
+
+// evalExists runs an EXISTS sub-query, stopping at the first row.
+func evalExists(x plan.ExistsExpr, r row, ctx *Ctx) (types.Value, error) {
+	op := Build(x.Plan)
+	ctx.Outer = append(ctx.Outer, r)
+	savedLimit := ctx.Limit
+	ctx.Limit = 0
+	defer func() {
+		ctx.Outer = ctx.Outer[:len(ctx.Outer)-1]
+		ctx.Limit = savedLimit
+	}()
+	if err := op.Open(ctx); err != nil {
+		return types.Null, err
+	}
+	defer op.Close()
+	first, err := op.Next(ctx)
+	if err != nil {
+		return types.Null, err
+	}
+	return types.NewBool((first != nil) != x.Negate), nil
+}
+
+func evalBinary(x plan.BinaryExpr, r row, ctx *Ctx) (types.Value, error) {
+	switch x.Op {
+	case sql.BinAnd, sql.BinOr:
+		return evalLogical(x, r, ctx)
+	}
+	l, err := evalExpr(x.L, r, ctx)
+	if err != nil {
+		return types.Null, err
+	}
+	rv, err := evalExpr(x.R, r, ctx)
+	if err != nil {
+		return types.Null, err
+	}
+	switch x.Op {
+	case sql.BinAdd:
+		return types.Arith(types.OpAdd, l, rv)
+	case sql.BinSub:
+		return types.Arith(types.OpSub, l, rv)
+	case sql.BinMul:
+		return types.Arith(types.OpMul, l, rv)
+	case sql.BinDiv:
+		return types.Arith(types.OpDiv, l, rv)
+	}
+	// Comparison: NULL operands yield NULL.
+	if l.IsNull() || rv.IsNull() {
+		return types.Null, nil
+	}
+	cmp, err := types.Compare(l, rv)
+	if err != nil {
+		return types.Null, err
+	}
+	var out bool
+	switch x.Op {
+	case sql.BinEq:
+		out = cmp == 0
+	case sql.BinNe:
+		out = cmp != 0
+	case sql.BinLt:
+		out = cmp < 0
+	case sql.BinLe:
+		out = cmp <= 0
+	case sql.BinGt:
+		out = cmp > 0
+	case sql.BinGe:
+		out = cmp >= 0
+	default:
+		return types.Null, fmt.Errorf("exec: unsupported binary op %v", x.Op)
+	}
+	return types.NewBool(out), nil
+}
+
+// evalLogical implements SQL three-valued AND/OR with short-circuiting.
+func evalLogical(x plan.BinaryExpr, r row, ctx *Ctx) (types.Value, error) {
+	l, err := evalExpr(x.L, r, ctx)
+	if err != nil {
+		return types.Null, err
+	}
+	if x.Op == sql.BinAnd {
+		if !l.IsNull() && !l.Truthy() {
+			return types.NewBool(false), nil
+		}
+		rv, err := evalExpr(x.R, r, ctx)
+		if err != nil {
+			return types.Null, err
+		}
+		switch {
+		case !rv.IsNull() && !rv.Truthy():
+			return types.NewBool(false), nil
+		case l.IsNull() || rv.IsNull():
+			return types.Null, nil
+		default:
+			return types.NewBool(true), nil
+		}
+	}
+	// OR
+	if !l.IsNull() && l.Truthy() {
+		return types.NewBool(true), nil
+	}
+	rv, err := evalExpr(x.R, r, ctx)
+	if err != nil {
+		return types.Null, err
+	}
+	switch {
+	case !rv.IsNull() && rv.Truthy():
+		return types.NewBool(true), nil
+	case l.IsNull() || rv.IsNull():
+		return types.Null, nil
+	default:
+		return types.NewBool(false), nil
+	}
+}
+
+// evalSubplan runs a scalar sub-query with the current row pushed onto the
+// outer-row stack. Zero rows yield NULL; more than one row is an error, as
+// in PostgreSQL.
+func evalSubplan(x plan.SubplanExpr, r row, ctx *Ctx) (types.Value, error) {
+	op := Build(x.Plan)
+	ctx.Outer = append(ctx.Outer, r)
+	// One scalar sub-query evaluation is the indivisible work quantum:
+	// suspend the yield limit so the sub-plan's own loops run to completion.
+	savedLimit := ctx.Limit
+	ctx.Limit = 0
+	defer func() {
+		ctx.Outer = ctx.Outer[:len(ctx.Outer)-1]
+		ctx.Limit = savedLimit
+	}()
+	if err := op.Open(ctx); err != nil {
+		return types.Null, err
+	}
+	defer op.Close()
+	first, err := op.Next(ctx)
+	if err != nil {
+		return types.Null, err
+	}
+	if first == nil {
+		return types.Null, nil
+	}
+	second, err := op.Next(ctx)
+	if err != nil {
+		return types.Null, err
+	}
+	if second != nil {
+		return types.Null, fmt.Errorf("exec: scalar sub-query returned more than one row")
+	}
+	return first[0], nil
+}

@@ -1,0 +1,40 @@
+// Package exec implements the volcano-style executor with the paper's
+// work-unit accounting: every page touched (heap page, index node, or
+// materialization page) charges 1 U against the query's WorkMeter. Execution
+// is resumable in budgeted steps so the multi-query scheduler can interleave
+// queries under weighted fair sharing.
+package exec
+
+// WorkMeter accumulates the work units (U's) a query has performed.
+type WorkMeter struct {
+	total float64
+}
+
+// Charge adds u work units.
+func (m *WorkMeter) Charge(u float64) { m.total += u }
+
+// ChargePage adds one work unit (one page of bytes processed).
+func (m *WorkMeter) ChargePage() { m.total++ }
+
+// Total returns the work done so far.
+func (m *WorkMeter) Total() float64 { return m.total }
+
+// Ctx is the per-query execution context threaded through all operators.
+type Ctx struct {
+	Meter *WorkMeter
+	// Outer is the stack of enclosing-query rows for correlated sub-query
+	// evaluation; Outer[len-1] is the nearest enclosing row.
+	Outer []row
+	// Limit, when positive, is the absolute meter level at which operators
+	// with internal loops (Filter candidate rejection, aggregation drains,
+	// joins, sorts) must yield back to the Runner so the scheduler's work
+	// budget is respected. Scalar sub-plan evaluation is the indivisible
+	// work quantum: the limit is suspended while one runs.
+	Limit float64
+}
+
+// NewCtx returns a context with a fresh meter.
+func NewCtx() *Ctx { return &Ctx{Meter: &WorkMeter{}} }
+
+// OverBudget reports whether the work limit has been reached.
+func (c *Ctx) OverBudget() bool { return c.Limit > 0 && c.Meter.Total() >= c.Limit }

@@ -1,0 +1,159 @@
+package exec
+
+import (
+	"math"
+
+	"mqpi/internal/engine/plan"
+	"mqpi/internal/engine/types"
+)
+
+// Runner drives a plan to completion in budgeted steps. It is the unit the
+// multi-query scheduler interleaves, and it hosts the refined remaining-cost
+// estimation of [Luo et al., SIGMOD'04/ICDE'05] that the paper's Assumption 2
+// relies on: the optimizer estimate early on, interpolation from observed
+// progress once enough of the driver input has been consumed.
+type Runner struct {
+	root   Operator
+	plan   plan.Node
+	ctx    *Ctx
+	opened bool
+	done   bool
+	failed error
+
+	// CollectRows controls whether result rows are retained. Experiments
+	// discard them; the shell and examples keep them.
+	CollectRows bool
+	rows        []types.Row
+}
+
+// NewRunner prepares a runner for the plan. Rows are collected by default.
+func NewRunner(p plan.Node) *Runner {
+	return &Runner{root: Build(p), plan: p, ctx: NewCtx(), CollectRows: true}
+}
+
+// Plan returns the underlying physical plan.
+func (r *Runner) Plan() plan.Node { return r.plan }
+
+// Schema returns the output schema.
+func (r *Runner) Schema() types.Schema { return r.plan.Schema() }
+
+// Rows returns the collected result rows (nil if CollectRows is false).
+func (r *Runner) Rows() []types.Row { return r.rows }
+
+// Done reports whether the query has finished (successfully or not).
+func (r *Runner) Done() bool { return r.done }
+
+// Err returns the terminal error, if execution failed.
+func (r *Runner) Err() error { return r.failed }
+
+// WorkDone returns the work units consumed so far.
+func (r *Runner) WorkDone() float64 { return r.ctx.Meter.Total() }
+
+// Step executes until approximately budget additional work units have been
+// consumed or the query completes. It returns the work actually consumed
+// (one tuple's work is indivisible, so the last call may overshoot slightly)
+// and whether the query is now done. A non-positive budget performs no work.
+func (r *Runner) Step(budget float64) (consumed float64, done bool, err error) {
+	if r.done {
+		return 0, true, r.failed
+	}
+	if budget <= 0 {
+		return 0, false, nil
+	}
+	start := r.ctx.Meter.Total()
+	if !r.opened {
+		if err := r.root.Open(r.ctx); err != nil {
+			r.done, r.failed = true, err
+			return r.ctx.Meter.Total() - start, true, err
+		}
+		r.opened = true
+	}
+	target := start + budget
+	r.ctx.Limit = target
+	defer func() { r.ctx.Limit = 0 }()
+	for r.ctx.Meter.Total() < target {
+		row, err := r.root.Next(r.ctx)
+		if err == errYield {
+			break
+		}
+		if err != nil {
+			r.done, r.failed = true, err
+			return r.ctx.Meter.Total() - start, true, err
+		}
+		if row == nil {
+			r.done = true
+			if cerr := r.root.Close(); cerr != nil && r.failed == nil {
+				r.failed = cerr
+			}
+			break
+		}
+		if r.CollectRows {
+			r.rows = append(r.rows, row.Clone())
+		}
+	}
+	return r.ctx.Meter.Total() - start, r.done, r.failed
+}
+
+// Run executes the query to completion.
+func (r *Runner) Run() error {
+	for {
+		_, done, err := r.Step(math.MaxFloat64 / 4)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// Progress returns the driver-input fraction consumed, in [0, 1].
+func (r *Runner) Progress() float64 {
+	if r.done {
+		return 1
+	}
+	if !r.opened {
+		return 0
+	}
+	return math.Min(1, math.Max(0, r.root.Progress()))
+}
+
+// Refinement thresholds: below lowWatermark of driver progress the optimizer
+// estimate is trusted entirely; above highWatermark the observed-progress
+// interpolation is trusted entirely; in between the two are blended linearly.
+const (
+	lowWatermark  = 0.02
+	highWatermark = 0.30
+)
+
+// EstRemainingOptimizer returns the optimizer-only remaining-cost estimate:
+// the plan's total estimated cost minus work done (floored at zero).
+func (r *Runner) EstRemainingOptimizer() float64 {
+	if r.done {
+		return 0
+	}
+	return math.Max(0, r.plan.EstCost()-r.WorkDone())
+}
+
+// EstRemaining returns the refined remaining-cost estimate in U's. This is
+// the c_i the progress indicators consume.
+func (r *Runner) EstRemaining() float64 {
+	if r.done {
+		return 0
+	}
+	opt := r.EstRemainingOptimizer()
+	f := r.Progress()
+	if f <= lowWatermark {
+		return opt
+	}
+	interp := r.WorkDone() * (1 - f) / f
+	if f >= highWatermark {
+		return interp
+	}
+	w := (f - lowWatermark) / (highWatermark - lowWatermark)
+	return (1-w)*opt + w*interp
+}
+
+// EstTotal returns the refined estimate of the query's total cost
+// (work done + estimated remaining).
+func (r *Runner) EstTotal() float64 { return r.WorkDone() + r.EstRemaining() }

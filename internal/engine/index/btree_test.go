@@ -1,0 +1,190 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mqpi/internal/engine/storage"
+)
+
+func rid(i int) storage.RowID { return storage.RowID{Page: i, Slot: 0} }
+
+func TestEmptyTree(t *testing.T) {
+	bt := New("idx", "t", "a")
+	if bt.Len() != 0 || bt.Height() != 1 {
+		t.Errorf("empty tree: len=%d height=%d", bt.Len(), bt.Height())
+	}
+	p := bt.SearchEq(5)
+	if len(p.RowIDs) != 0 || p.NodesTouched != 1 {
+		t.Errorf("SearchEq on empty = %+v", p)
+	}
+	if err := bt.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestInsertSearchSequential(t *testing.T) {
+	bt := New("idx", "t", "a")
+	const n = 1000
+	for i := 0; i < n; i++ {
+		bt.Insert(int64(i), rid(i))
+	}
+	if bt.Len() != n {
+		t.Errorf("Len = %d, want %d", bt.Len(), n)
+	}
+	if bt.Height() < 2 {
+		t.Errorf("tree of %d keys should have split (height %d)", n, bt.Height())
+	}
+	if err := bt.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		p := bt.SearchEq(int64(i))
+		if len(p.RowIDs) != 1 || p.RowIDs[0] != rid(i) {
+			t.Fatalf("SearchEq(%d) = %v", i, p.RowIDs)
+		}
+		if p.NodesTouched != bt.Height() {
+			t.Fatalf("probe touched %d nodes, height is %d", p.NodesTouched, bt.Height())
+		}
+	}
+	if got := bt.SearchEq(int64(n)); len(got.RowIDs) != 0 {
+		t.Errorf("missing key returned %v", got.RowIDs)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	bt := New("idx", "t", "a")
+	for i := 0; i < 50; i++ {
+		bt.Insert(7, rid(i))
+	}
+	p := bt.SearchEq(7)
+	if len(p.RowIDs) != 50 {
+		t.Fatalf("duplicates: got %d row ids", len(p.RowIDs))
+	}
+	if bt.Len() != 50 {
+		t.Errorf("Len = %d", bt.Len())
+	}
+	if err := bt.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestSearchRange(t *testing.T) {
+	bt := New("idx", "t", "a")
+	for i := 0; i < 200; i += 2 { // even keys only
+		bt.Insert(int64(i), rid(i))
+	}
+	p := bt.SearchRange(10, 20)
+	want := []int{10, 12, 14, 16, 18, 20}
+	if len(p.RowIDs) != len(want) {
+		t.Fatalf("range [10,20] returned %d ids", len(p.RowIDs))
+	}
+	for i, w := range want {
+		if p.RowIDs[i] != rid(w) {
+			t.Errorf("range result %d = %v, want %v", i, p.RowIDs[i], rid(w))
+		}
+	}
+	if got := bt.SearchRange(21, 21); len(got.RowIDs) != 0 {
+		t.Error("odd key should be absent")
+	}
+	if got := bt.SearchRange(30, 10); len(got.RowIDs) != 0 {
+		t.Error("inverted range should be empty")
+	}
+	// Full range covers everything in order.
+	all := bt.SearchRange(-1, 1000)
+	if len(all.RowIDs) != 100 {
+		t.Errorf("full range returned %d ids", len(all.RowIDs))
+	}
+}
+
+// TestRandomAgainstReference inserts random keys and cross-checks every
+// lookup against a map-based reference implementation.
+func TestRandomAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bt := New("idx", "t", "a")
+	ref := make(map[int64][]storage.RowID)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		k := int64(rng.Intn(500)) // plenty of duplicates
+		bt.Insert(k, rid(i))
+		ref[k] = append(ref[k], rid(i))
+	}
+	if err := bt.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for k, want := range ref {
+		got := bt.SearchEq(k).RowIDs
+		if len(got) != len(want) {
+			t.Fatalf("key %d: got %d ids, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("key %d id %d: got %v, want %v (insertion order must be preserved)", k, i, got[i], want[i])
+			}
+		}
+	}
+	// Range query matches reference.
+	lo, hi := int64(100), int64(200)
+	var want []storage.RowID
+	var keys []int64
+	for k := range ref {
+		if k >= lo && k <= hi {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		want = append(want, ref[k]...)
+	}
+	got := bt.SearchRange(lo, hi).RowIDs
+	if len(got) != len(want) {
+		t.Fatalf("range: got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range result %d mismatch", i)
+		}
+	}
+}
+
+// Property: any insertion sequence leaves a valid tree whose length matches.
+func TestQuickValidity(t *testing.T) {
+	f := func(keys []int64) bool {
+		bt := New("idx", "t", "a")
+		for i, k := range keys {
+			bt.Insert(k%1000, rid(i))
+		}
+		return bt.Validate() == nil && bt.Len() == len(keys)
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	bt := New("idx_name", "tbl", "col")
+	if bt.Name() != "idx_name" || bt.Table() != "tbl" || bt.Column() != "col" {
+		t.Errorf("metadata: %q %q %q", bt.Name(), bt.Table(), bt.Column())
+	}
+}
+
+func TestProbeCostGrowsWithHeight(t *testing.T) {
+	bt := New("idx", "t", "a")
+	prev := bt.Height()
+	for i := 0; i < 100000; i++ {
+		bt.Insert(int64(i), rid(i))
+	}
+	if bt.Height() <= prev {
+		t.Fatalf("height did not grow: %d", bt.Height())
+	}
+	if bt.Height() < 3 {
+		t.Errorf("100k keys at fanout %d should be at least 3 levels, got %d", Fanout, bt.Height())
+	}
+	p := bt.SearchEq(99999)
+	if p.NodesTouched != bt.Height() {
+		t.Errorf("probe cost %d != height %d", p.NodesTouched, bt.Height())
+	}
+}

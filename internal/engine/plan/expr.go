@@ -1,0 +1,178 @@
+// Package plan turns parsed SELECT statements into physical plans with cost
+// estimates. Costs are expressed in the paper's work unit U (one page of
+// bytes processed); the optimizer's total-cost estimate for a query is the
+// progress indicator's starting point.
+package plan
+
+import (
+	"fmt"
+
+	"mqpi/internal/engine/sql"
+	"mqpi/internal/engine/types"
+)
+
+// Expr is a bound expression: column references are resolved to positional
+// indexes, and scalar sub-queries are embedded as plans.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// ColIdx references column i of the current input row.
+type ColIdx struct {
+	Idx  int
+	Name string // for display
+}
+
+// OuterCol references column Idx of an enclosing query's current row.
+// Level 1 is the nearest enclosing query.
+type OuterCol struct {
+	Level int
+	Idx   int
+	Name  string
+}
+
+// Const is a literal value.
+type Const struct {
+	Val types.Value
+}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op   sql.BinOp
+	L, R Expr
+}
+
+// NotExpr is logical negation.
+type NotExpr struct {
+	X Expr
+}
+
+// NegExpr is arithmetic negation.
+type NegExpr struct {
+	X Expr
+}
+
+// IsNullExpr tests for NULL.
+type IsNullExpr struct {
+	X      Expr
+	Negate bool
+}
+
+// SubplanExpr evaluates a scalar sub-query plan. Correlated references
+// inside the plan appear as OuterCol expressions. PerEvalCost is the
+// optimizer's estimated cost of one evaluation, in U's.
+type SubplanExpr struct {
+	Plan        Node
+	PerEvalCost float64
+}
+
+// ExistsExpr evaluates EXISTS (sub-query): true when the plan yields any
+// row. Evaluation stops at the first row, so PerEvalCost is an upper bound.
+type ExistsExpr struct {
+	Plan        Node
+	Negate      bool
+	PerEvalCost float64
+}
+
+func (ColIdx) exprNode()      {}
+func (OuterCol) exprNode()    {}
+func (Const) exprNode()       {}
+func (BinaryExpr) exprNode()  {}
+func (NotExpr) exprNode()     {}
+func (NegExpr) exprNode()     {}
+func (IsNullExpr) exprNode()  {}
+func (SubplanExpr) exprNode() {}
+func (ExistsExpr) exprNode()  {}
+
+func (e ColIdx) String() string {
+	if e.Name != "" {
+		return e.Name
+	}
+	return fmt.Sprintf("$%d", e.Idx)
+}
+
+func (e OuterCol) String() string {
+	if e.Name != "" {
+		return fmt.Sprintf("outer(%d).%s", e.Level, e.Name)
+	}
+	return fmt.Sprintf("outer(%d).$%d", e.Level, e.Idx)
+}
+
+func (e Const) String() string { return e.Val.String() }
+
+func (e BinaryExpr) String() string {
+	return "(" + e.L.String() + " " + e.Op.String() + " " + e.R.String() + ")"
+}
+
+func (e NotExpr) String() string { return "NOT " + e.X.String() }
+
+func (e NegExpr) String() string { return "(-" + e.X.String() + ")" }
+
+func (e IsNullExpr) String() string {
+	if e.Negate {
+		return e.X.String() + " IS NOT NULL"
+	}
+	return e.X.String() + " IS NULL"
+}
+
+func (e SubplanExpr) String() string {
+	return fmt.Sprintf("subplan(cost=%.1f)", e.PerEvalCost)
+}
+
+func (e ExistsExpr) String() string {
+	if e.Negate {
+		return fmt.Sprintf("not-exists(cost<=%.1f)", e.PerEvalCost)
+	}
+	return fmt.Sprintf("exists(cost<=%.1f)", e.PerEvalCost)
+}
+
+// exprCost returns the optimizer's estimated per-evaluation cost of an
+// expression in U's. Plain scalar expressions are free (their CPU cost is
+// folded into the page work of the operator evaluating them, as in the
+// paper's page-based accounting); sub-plans carry their plan cost.
+func exprCost(e Expr) float64 {
+	switch x := e.(type) {
+	case SubplanExpr:
+		return x.PerEvalCost
+	case ExistsExpr:
+		return x.PerEvalCost
+	case BinaryExpr:
+		return exprCost(x.L) + exprCost(x.R)
+	case NotExpr:
+		return exprCost(x.X)
+	case NegExpr:
+		return exprCost(x.X)
+	case IsNullExpr:
+		return exprCost(x.X)
+	default:
+		return 0
+	}
+}
+
+// refsCurrentLevel reports whether the expression references any column of
+// the current (innermost) scope — i.e. whether it must be evaluated per row
+// of the current input rather than once per outer binding.
+func refsCurrentLevel(e Expr) bool {
+	switch x := e.(type) {
+	case ColIdx:
+		return true
+	case OuterCol, Const:
+		return false
+	case BinaryExpr:
+		return refsCurrentLevel(x.L) || refsCurrentLevel(x.R)
+	case NotExpr:
+		return refsCurrentLevel(x.X)
+	case NegExpr:
+		return refsCurrentLevel(x.X)
+	case IsNullExpr:
+		return refsCurrentLevel(x.X)
+	case SubplanExpr, ExistsExpr:
+		// A sub-plan correlated on the current level would have been bound
+		// with OuterCol(level 1) references inside the plan; treat it as
+		// row-dependent conservatively.
+		return true
+	default:
+		return true
+	}
+}

@@ -1,0 +1,287 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"mqpi/internal/engine/catalog"
+	"mqpi/internal/engine/index"
+	"mqpi/internal/engine/sql"
+	"mqpi/internal/engine/types"
+)
+
+// Node is a physical plan operator. EstCost is the optimizer's total cost of
+// running the node to completion, in U's; EstRows is the estimated output
+// cardinality.
+type Node interface {
+	Schema() types.Schema
+	EstCost() float64
+	EstRows() float64
+	Children() []Node
+	// Label is the one-line EXPLAIN description of this node.
+	Label() string
+}
+
+// SeqScan reads a table page by page.
+type SeqScan struct {
+	Table  *catalog.Table
+	Name   string
+	Alias  string
+	schema types.Schema
+	cost   float64
+	rows   float64
+}
+
+// IndexScan probes a B+-tree with an equality key and fetches matching heap
+// rows. KeyExpr may reference outer scopes (the correlated case) or be
+// constant.
+type IndexScan struct {
+	Table   *catalog.Table
+	Index   *index.BTree
+	Name    string
+	Alias   string
+	KeyExpr Expr
+	schema  types.Schema
+	cost    float64
+	rows    float64
+}
+
+// Filter passes rows satisfying Pred.
+type Filter struct {
+	Child Node
+	Pred  Expr
+	cost  float64
+	rows  float64
+}
+
+// Project computes output expressions per input row.
+type Project struct {
+	Child  Node
+	Exprs  []Expr
+	schema types.Schema
+	cost   float64
+}
+
+// NLJoin is a nested-loop cross product; join predicates are applied by a
+// Filter above it.
+type NLJoin struct {
+	L, R   Node
+	schema types.Schema
+	cost   float64
+	rows   float64
+}
+
+// AggSpec is one aggregate computation.
+type AggSpec struct {
+	Func sql.AggFunc
+	Arg  Expr // nil for COUNT(*)
+	Star bool
+}
+
+// Agg groups its input and computes aggregates. Output schema is the
+// group-by columns followed by the aggregate results. With no GROUP BY it
+// produces exactly one row (scalar aggregation).
+type Agg struct {
+	Child   Node
+	GroupBy []Expr
+	Aggs    []AggSpec
+	schema  types.Schema
+	cost    float64
+	rows    float64
+}
+
+// Distinct removes duplicate rows (SELECT DISTINCT), streaming through a
+// hash set.
+type Distinct struct {
+	Child Node
+	cost  float64
+	rows  float64
+}
+
+func (n *Distinct) Schema() types.Schema { return n.Child.Schema() }
+func (n *Distinct) EstCost() float64     { return n.cost }
+func (n *Distinct) EstRows() float64     { return n.rows }
+func (n *Distinct) Children() []Node     { return []Node{n.Child} }
+func (n *Distinct) Label() string {
+	return fmt.Sprintf("Distinct (cost=%.1f rows=%.0f)", n.cost, n.rows)
+}
+
+// SortKey is one ORDER BY key bound to the child's schema.
+type SortKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// Sort materializes and orders its input.
+type Sort struct {
+	Child Node
+	Keys  []SortKey
+	cost  float64
+}
+
+// Limit truncates its input to N rows.
+type Limit struct {
+	Child Node
+	N     int64
+}
+
+func (n *SeqScan) Schema() types.Schema { return n.schema }
+func (n *SeqScan) EstCost() float64     { return n.cost }
+func (n *SeqScan) EstRows() float64     { return n.rows }
+func (n *SeqScan) Children() []Node     { return nil }
+func (n *SeqScan) Label() string {
+	return fmt.Sprintf("SeqScan %s (cost=%.1f rows=%.0f)", n.Name, n.cost, n.rows)
+}
+
+func (n *IndexScan) Schema() types.Schema { return n.schema }
+func (n *IndexScan) EstCost() float64     { return n.cost }
+func (n *IndexScan) EstRows() float64     { return n.rows }
+func (n *IndexScan) Children() []Node     { return nil }
+func (n *IndexScan) Label() string {
+	return fmt.Sprintf("IndexScan %s via %s key=%s (cost=%.1f rows=%.0f)",
+		n.Name, n.Index.Name(), n.KeyExpr.String(), n.cost, n.rows)
+}
+
+func (n *Filter) Schema() types.Schema { return n.Child.Schema() }
+func (n *Filter) EstCost() float64     { return n.cost }
+func (n *Filter) EstRows() float64     { return n.rows }
+func (n *Filter) Children() []Node     { return []Node{n.Child} }
+func (n *Filter) Label() string {
+	return fmt.Sprintf("Filter %s (cost=%.1f rows=%.0f)", n.Pred.String(), n.cost, n.rows)
+}
+
+func (n *Project) Schema() types.Schema { return n.schema }
+func (n *Project) EstCost() float64     { return n.cost }
+func (n *Project) EstRows() float64     { return n.Child.EstRows() }
+func (n *Project) Children() []Node     { return []Node{n.Child} }
+func (n *Project) Label() string {
+	parts := make([]string, len(n.Exprs))
+	for i, e := range n.Exprs {
+		parts[i] = e.String()
+	}
+	return fmt.Sprintf("Project %s (cost=%.1f)", strings.Join(parts, ", "), n.cost)
+}
+
+func (n *NLJoin) Schema() types.Schema { return n.schema }
+func (n *NLJoin) EstCost() float64     { return n.cost }
+func (n *NLJoin) EstRows() float64     { return n.rows }
+func (n *NLJoin) Children() []Node     { return []Node{n.L, n.R} }
+func (n *NLJoin) Label() string {
+	return fmt.Sprintf("NestedLoopJoin (cost=%.1f rows=%.0f)", n.cost, n.rows)
+}
+
+func (n *Agg) Schema() types.Schema { return n.schema }
+func (n *Agg) EstCost() float64     { return n.cost }
+func (n *Agg) EstRows() float64     { return n.rows }
+func (n *Agg) Children() []Node     { return []Node{n.Child} }
+func (n *Agg) Label() string {
+	parts := make([]string, 0, len(n.GroupBy)+len(n.Aggs))
+	for _, g := range n.GroupBy {
+		parts = append(parts, g.String())
+	}
+	for _, a := range n.Aggs {
+		if a.Star {
+			parts = append(parts, a.Func.String()+"(*)")
+		} else {
+			parts = append(parts, a.Func.String()+"("+a.Arg.String()+")")
+		}
+	}
+	return fmt.Sprintf("Aggregate %s (cost=%.1f rows=%.0f)", strings.Join(parts, ", "), n.cost, n.rows)
+}
+
+func (n *Sort) Schema() types.Schema { return n.Child.Schema() }
+func (n *Sort) EstCost() float64     { return n.cost }
+func (n *Sort) EstRows() float64     { return n.Child.EstRows() }
+func (n *Sort) Children() []Node     { return []Node{n.Child} }
+func (n *Sort) Label() string {
+	parts := make([]string, len(n.Keys))
+	for i, k := range n.Keys {
+		parts[i] = k.Expr.String()
+		if k.Desc {
+			parts[i] += " DESC"
+		}
+	}
+	return fmt.Sprintf("Sort %s (cost=%.1f)", strings.Join(parts, ", "), n.cost)
+}
+
+func (n *Limit) Schema() types.Schema { return n.Child.Schema() }
+func (n *Limit) EstCost() float64     { return n.Child.EstCost() }
+func (n *Limit) EstRows() float64 {
+	r := n.Child.EstRows()
+	if float64(n.N) < r {
+		return float64(n.N)
+	}
+	return r
+}
+func (n *Limit) Children() []Node { return []Node{n.Child} }
+func (n *Limit) Label() string    { return fmt.Sprintf("Limit %d", n.N) }
+
+// subplansOf extracts the scalar sub-query plans embedded in a node's
+// expressions, so EXPLAIN can render them.
+func subplansOf(n Node) []Node {
+	var exprs []Expr
+	switch x := n.(type) {
+	case *Filter:
+		exprs = []Expr{x.Pred}
+	case *Project:
+		exprs = x.Exprs
+	case *IndexScan:
+		exprs = []Expr{x.KeyExpr}
+	case *Agg:
+		exprs = append(exprs, x.GroupBy...)
+		for _, a := range x.Aggs {
+			if a.Arg != nil {
+				exprs = append(exprs, a.Arg)
+			}
+		}
+	case *Sort:
+		for _, k := range x.Keys {
+			exprs = append(exprs, k.Expr)
+		}
+	}
+	var out []Node
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case SubplanExpr:
+			out = append(out, x.Plan)
+		case ExistsExpr:
+			out = append(out, x.Plan)
+		case BinaryExpr:
+			walk(x.L)
+			walk(x.R)
+		case NotExpr:
+			walk(x.X)
+		case NegExpr:
+			walk(x.X)
+		case IsNullExpr:
+			walk(x.X)
+		}
+	}
+	for _, e := range exprs {
+		walk(e)
+	}
+	return out
+}
+
+// Explain renders the plan tree as indented text, including the plans of
+// scalar sub-queries embedded in expressions.
+func Explain(n Node) string {
+	var b strings.Builder
+	var walk func(n Node, depth int)
+	walk = func(n Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.Label())
+		b.WriteByte('\n')
+		for _, sub := range subplansOf(n) {
+			b.WriteString(strings.Repeat("  ", depth+1))
+			b.WriteString("SubPlan:\n")
+			walk(sub, depth+2)
+		}
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String()
+}

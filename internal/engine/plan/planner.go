@@ -1,0 +1,813 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mqpi/internal/engine/catalog"
+	"mqpi/internal/engine/index"
+	"mqpi/internal/engine/sql"
+	"mqpi/internal/engine/storage"
+	"mqpi/internal/engine/types"
+)
+
+// Planner binds and plans SELECT statements against a catalog.
+type Planner struct {
+	cat *catalog.Catalog
+}
+
+// NewPlanner creates a planner over the catalog.
+func NewPlanner(cat *catalog.Catalog) *Planner {
+	return &Planner{cat: cat}
+}
+
+// colOrigin records which base table column a scope column came from, so the
+// selectivity estimator can find its statistics. Computed columns have an
+// empty table.
+type colOrigin struct {
+	table  string
+	column string
+}
+
+// scope is one level of name resolution: the combined FROM schema of a
+// SELECT, plus per-column statistic origins.
+type scope struct {
+	schema  types.Schema
+	origins []colOrigin
+}
+
+// PlanSelect builds a physical plan for a top-level SELECT.
+func (p *Planner) PlanSelect(sel *sql.Select) (Node, error) {
+	n, _, err := p.buildSelect(sel, nil)
+	return n, err
+}
+
+// BindRowExpr binds an expression against a single table's row schema (for
+// DELETE/UPDATE predicates and SET expressions). Sub-queries inside the
+// expression may correlate against the table's row.
+func (p *Planner) BindRowExpr(tableName string, e sql.Expr) (Expr, error) {
+	t, err := p.cat.Table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	sc := scope{schema: t.Rel.Schema().WithQualifier(tableName)}
+	for _, c := range t.Rel.Schema().Cols {
+		sc.origins = append(sc.origins, colOrigin{table: tableName, column: c.Name})
+	}
+	bound, _, err := p.bindExpr(e, []scope{sc}, false)
+	return bound, err
+}
+
+// buildSelect plans one SELECT in the context of enclosing scopes
+// (outers[len-1] is the nearest). It returns the plan and its output scope.
+func (p *Planner) buildSelect(sel *sql.Select, outers []scope) (Node, scope, error) {
+	if len(sel.From) == 0 {
+		return nil, scope{}, fmt.Errorf("plan: FROM clause is required")
+	}
+
+	// Resolve FROM and build the combined input scope.
+	cur := scope{}
+	tables := make([]*catalog.Table, len(sel.From))
+	for i, ref := range sel.From {
+		t, err := p.cat.Table(ref.Table)
+		if err != nil {
+			return nil, scope{}, err
+		}
+		tables[i] = t
+		qualified := t.Rel.Schema().WithQualifier(ref.Alias)
+		cur.schema = cur.schema.Concat(qualified)
+		for _, c := range t.Rel.Schema().Cols {
+			cur.origins = append(cur.origins, colOrigin{table: ref.Table, column: c.Name})
+		}
+	}
+	scopes := append(append([]scope(nil), outers...), cur)
+
+	// Bind WHERE and split it into conjuncts for access-path selection.
+	var whereConjuncts []Expr
+	if sel.Where != nil {
+		bound, _, err := p.bindExpr(sel.Where, scopes, false)
+		if err != nil {
+			return nil, scope{}, err
+		}
+		whereConjuncts = splitConjuncts(bound)
+	}
+
+	var root Node
+	if len(sel.From) == 1 {
+		node, rest, err := p.accessPath(tables[0], sel.From[0], cur, whereConjuncts)
+		if err != nil {
+			return nil, scope{}, err
+		}
+		root = node
+		whereConjuncts = rest
+	} else {
+		// Left-deep cross-product chain; the WHERE filter restricts it above.
+		root = p.newSeqScan(tables[0], sel.From[0])
+		for i := 1; i < len(sel.From); i++ {
+			r := p.newSeqScan(tables[i], sel.From[i])
+			root = p.newNLJoin(root, r)
+		}
+	}
+	if len(whereConjuncts) > 0 {
+		root = p.newFilter(root, joinConjuncts(whereConjuncts), cur)
+	}
+
+	// Aggregation.
+	hasAgg := len(sel.GroupBy) > 0 || selectHasAgg(sel)
+	outScope := cur
+	if hasAgg {
+		var err error
+		root, outScope, err = p.buildAgg(root, sel, scopes, cur)
+		if err != nil {
+			return nil, scope{}, err
+		}
+		scopes = append(append([]scope(nil), outers...), outScope)
+		if sel.Having != nil {
+			// HAVING was rewritten into the aggregate scope by buildAgg via
+			// aggRewrite; bind it there.
+			pred, _, err := p.bindAggExpr(sel.Having, sel, scopes, outScope)
+			if err != nil {
+				return nil, scope{}, err
+			}
+			root = p.newFilter(root, pred, outScope)
+		}
+	} else if sel.Having != nil {
+		return nil, scope{}, fmt.Errorf("plan: HAVING requires aggregation")
+	}
+
+	// Projection.
+	star := len(sel.Items) == 1 && sel.Items[0].Star
+	if !star {
+		exprs := make([]Expr, 0, len(sel.Items))
+		outSchema := types.Schema{}
+		outOrigins := make([]colOrigin, 0, len(sel.Items))
+		for i, item := range sel.Items {
+			if item.Star {
+				return nil, scope{}, fmt.Errorf("plan: SELECT * cannot be mixed with expressions")
+			}
+			var (
+				e    Expr
+				kind types.Kind
+				err  error
+			)
+			if hasAgg {
+				e, kind, err = p.bindAggExpr(item.Expr, sel, scopes, outScope)
+			} else {
+				e, kind, err = p.bindExpr(item.Expr, scopes, false)
+			}
+			if err != nil {
+				return nil, scope{}, err
+			}
+			name := item.Alias
+			if name == "" {
+				if c, ok := item.Expr.(sql.ColumnRef); ok {
+					name = c.Name
+				} else {
+					name = fmt.Sprintf("expr%d", i+1)
+				}
+			}
+			exprs = append(exprs, e)
+			outSchema.Cols = append(outSchema.Cols, types.Column{Name: name, Type: kind})
+			outSchema.Quals = append(outSchema.Quals, "")
+			origin := colOrigin{}
+			if ci, ok := e.(ColIdx); ok && ci.Idx < len(outScope.origins) {
+				origin = outScope.origins[ci.Idx]
+			}
+			outOrigins = append(outOrigins, origin)
+		}
+		root = p.newProject(root, exprs, outSchema)
+		outScope = scope{schema: outSchema, origins: outOrigins}
+	}
+
+	if sel.Distinct {
+		root = p.newDistinct(root)
+	}
+
+	// ORDER BY binds against the projected output (name or alias). A
+	// qualified reference like p.partkey falls back to its bare name, since
+	// projection output drops qualifiers.
+	if len(sel.OrderBy) > 0 {
+		keys := make([]SortKey, 0, len(sel.OrderBy))
+		orderScopes := []scope{outScope}
+		for _, o := range sel.OrderBy {
+			e, _, err := p.bindExpr(o.Expr, orderScopes, false)
+			if err != nil {
+				e, _, err = p.bindExpr(stripQualifiers(o.Expr), orderScopes, false)
+			}
+			if err != nil {
+				return nil, scope{}, fmt.Errorf("plan: ORDER BY must reference output columns: %w", err)
+			}
+			keys = append(keys, SortKey{Expr: e, Desc: o.Desc})
+		}
+		root = p.newSort(root, keys)
+	}
+	if sel.Limit != nil {
+		root = &Limit{Child: root, N: *sel.Limit}
+	}
+	return root, outScope, nil
+}
+
+// accessPath picks an index scan when a conjunct "col = expr" matches an
+// index on the single FROM table and expr does not depend on the table's own
+// rows (a constant or a correlated outer reference, the paper's lineitem
+// probe). It returns the scan node and the conjuncts that still need a
+// Filter.
+func (p *Planner) accessPath(t *catalog.Table, ref sql.TableRef, cur scope, conjuncts []Expr) (Node, []Expr, error) {
+	for i, c := range conjuncts {
+		be, ok := c.(BinaryExpr)
+		if !ok || be.Op != sql.BinEq {
+			continue
+		}
+		col, key := be.L, be.R
+		if _, isCol := col.(ColIdx); !isCol {
+			col, key = be.R, be.L
+		}
+		ci, isCol := col.(ColIdx)
+		if !isCol || refsCurrentLevel(key) {
+			continue
+		}
+		origin := cur.origins[ci.Idx]
+		bt, ok := p.cat.IndexOn(origin.table, origin.column)
+		if !ok {
+			continue
+		}
+		rest := append(append([]Expr(nil), conjuncts[:i]...), conjuncts[i+1:]...)
+		return p.newIndexScan(t, ref, bt, key, origin), rest, nil
+	}
+	return p.newSeqScan(t, ref), conjuncts, nil
+}
+
+func selectHasAgg(sel *sql.Select) bool {
+	for _, item := range sel.Items {
+		if item.Expr != nil && astHasAgg(item.Expr) {
+			return true
+		}
+	}
+	if sel.Having != nil && astHasAgg(sel.Having) {
+		return true
+	}
+	return false
+}
+
+// astHasAgg reports whether the AST contains an aggregate call outside any
+// nested sub-query (aggregates inside a sub-query belong to the sub-query).
+func astHasAgg(e sql.Expr) bool {
+	switch x := e.(type) {
+	case sql.AggCall:
+		return true
+	case sql.Binary:
+		return astHasAgg(x.L) || astHasAgg(x.R)
+	case sql.Unary:
+		return astHasAgg(x.X)
+	case sql.IsNull:
+		return astHasAgg(x.X)
+	default:
+		return false
+	}
+}
+
+// buildAgg constructs the Agg node: it collects the distinct aggregate calls
+// appearing in the select list and HAVING, binds their arguments and the
+// GROUP BY keys against the input scope, and returns the aggregate output
+// scope (group keys first, then aggregate results).
+func (p *Planner) buildAgg(child Node, sel *sql.Select, scopes []scope, cur scope) (Node, scope, error) {
+	groupASTs := sel.GroupBy
+	groupExprs := make([]Expr, 0, len(groupASTs))
+	outSchema := types.Schema{}
+	outOrigins := make([]colOrigin, 0)
+	for i, g := range groupASTs {
+		e, kind, err := p.bindExpr(g, scopes, false)
+		if err != nil {
+			return nil, scope{}, err
+		}
+		groupExprs = append(groupExprs, e)
+		name := fmt.Sprintf("group%d", i+1)
+		origin := colOrigin{}
+		if c, ok := g.(sql.ColumnRef); ok {
+			name = c.Name
+			if ci, ok2 := e.(ColIdx); ok2 && ci.Idx < len(cur.origins) {
+				origin = cur.origins[ci.Idx]
+			}
+		}
+		outSchema.Cols = append(outSchema.Cols, types.Column{Name: name, Type: kind})
+		outSchema.Quals = append(outSchema.Quals, "")
+		outOrigins = append(outOrigins, origin)
+	}
+
+	// Collect distinct aggregate calls (keyed by rendered text) from the
+	// select list and HAVING.
+	var calls []sql.AggCall
+	seen := map[string]bool{}
+	collect := func(e sql.Expr) {
+		var walk func(e sql.Expr)
+		walk = func(e sql.Expr) {
+			switch x := e.(type) {
+			case sql.AggCall:
+				if !seen[x.String()] {
+					seen[x.String()] = true
+					calls = append(calls, x)
+				}
+			case sql.Binary:
+				walk(x.L)
+				walk(x.R)
+			case sql.Unary:
+				walk(x.X)
+			case sql.IsNull:
+				walk(x.X)
+			}
+		}
+		walk(e)
+	}
+	for _, item := range sel.Items {
+		if item.Expr != nil {
+			collect(item.Expr)
+		}
+	}
+	if sel.Having != nil {
+		collect(sel.Having)
+	}
+
+	specs := make([]AggSpec, 0, len(calls))
+	for _, call := range calls {
+		spec := AggSpec{Func: call.Func, Star: call.Star}
+		kind := types.KindFloat
+		if call.Star {
+			kind = types.KindInt
+		} else {
+			arg, argKind, err := p.bindExpr(call.Arg, scopes, false)
+			if err != nil {
+				return nil, scope{}, err
+			}
+			spec.Arg = arg
+			switch call.Func {
+			case sql.AggCount:
+				kind = types.KindInt
+			case sql.AggAvg:
+				kind = types.KindFloat
+			default:
+				kind = argKind
+			}
+		}
+		specs = append(specs, spec)
+		outSchema.Cols = append(outSchema.Cols, types.Column{Name: call.String(), Type: kind})
+		outSchema.Quals = append(outSchema.Quals, "")
+		outOrigins = append(outOrigins, colOrigin{})
+	}
+	node := p.newAgg(child, groupExprs, specs, outSchema, cur)
+	return node, scope{schema: outSchema, origins: outOrigins}, nil
+}
+
+// bindAggExpr binds an expression that appears above an Agg node: aggregate
+// calls and group-by expressions become positional references into the
+// aggregate output; anything else must be composed of those.
+func (p *Planner) bindAggExpr(e sql.Expr, sel *sql.Select, scopes []scope, aggScope scope) (Expr, types.Kind, error) {
+	// Group-by expressions match textually (the standard trick).
+	for i, g := range sel.GroupBy {
+		if g.String() == e.String() {
+			return ColIdx{Idx: i, Name: aggScope.schema.Cols[i].Name}, aggScope.schema.Cols[i].Type, nil
+		}
+	}
+	switch x := e.(type) {
+	case sql.AggCall:
+		for i := len(sel.GroupBy); i < aggScope.schema.Len(); i++ {
+			if aggScope.schema.Cols[i].Name == x.String() {
+				return ColIdx{Idx: i, Name: x.String()}, aggScope.schema.Cols[i].Type, nil
+			}
+		}
+		return nil, types.KindNull, fmt.Errorf("plan: aggregate %s not found in aggregation", x.String())
+	case sql.Literal:
+		return Const{Val: x.Val}, x.Val.Kind(), nil
+	case sql.Binary:
+		l, lk, err := p.bindAggExpr(x.L, sel, scopes, aggScope)
+		if err != nil {
+			return nil, types.KindNull, err
+		}
+		r, rk, err := p.bindAggExpr(x.R, sel, scopes, aggScope)
+		if err != nil {
+			return nil, types.KindNull, err
+		}
+		return BinaryExpr{Op: x.Op, L: l, R: r}, binaryKind(x.Op, lk, rk), nil
+	case sql.Unary:
+		inner, kind, err := p.bindAggExpr(x.X, sel, scopes, aggScope)
+		if err != nil {
+			return nil, types.KindNull, err
+		}
+		if x.Op == "NOT" {
+			return NotExpr{X: inner}, types.KindBool, nil
+		}
+		return NegExpr{X: inner}, kind, nil
+	case sql.IsNull:
+		inner, _, err := p.bindAggExpr(x.X, sel, scopes, aggScope)
+		if err != nil {
+			return nil, types.KindNull, err
+		}
+		return IsNullExpr{X: inner, Negate: x.Negate}, types.KindBool, nil
+	case sql.ColumnRef:
+		return nil, types.KindNull, fmt.Errorf("plan: column %s must appear in GROUP BY or inside an aggregate", x.String())
+	case sql.Subquery:
+		return nil, types.KindNull, fmt.Errorf("plan: sub-queries above aggregation are not supported")
+	default:
+		return nil, types.KindNull, fmt.Errorf("plan: unsupported expression %T above aggregation", e)
+	}
+}
+
+// bindExpr resolves an AST expression against the scope stack
+// (scopes[len-1] is the current scope). Aggregate calls are rejected here;
+// they are handled by the aggregation path.
+func (p *Planner) bindExpr(e sql.Expr, scopes []scope, inAggArg bool) (Expr, types.Kind, error) {
+	switch x := e.(type) {
+	case sql.Literal:
+		return Const{Val: x.Val}, x.Val.Kind(), nil
+	case sql.ColumnRef:
+		for level := 0; level < len(scopes); level++ {
+			sc := scopes[len(scopes)-1-level]
+			idx, err := sc.schema.ColIndex(x.Qualifier, x.Name)
+			if err != nil {
+				if isAmbiguous(err) {
+					return nil, types.KindNull, err
+				}
+				continue
+			}
+			kind := sc.schema.Cols[idx].Type
+			if level == 0 {
+				return ColIdx{Idx: idx, Name: x.String()}, kind, nil
+			}
+			return OuterCol{Level: level, Idx: idx, Name: x.String()}, kind, nil
+		}
+		return nil, types.KindNull, fmt.Errorf("plan: unknown column %s", x.String())
+	case sql.Binary:
+		l, lk, err := p.bindExpr(x.L, scopes, inAggArg)
+		if err != nil {
+			return nil, types.KindNull, err
+		}
+		r, rk, err := p.bindExpr(x.R, scopes, inAggArg)
+		if err != nil {
+			return nil, types.KindNull, err
+		}
+		return BinaryExpr{Op: x.Op, L: l, R: r}, binaryKind(x.Op, lk, rk), nil
+	case sql.Unary:
+		inner, kind, err := p.bindExpr(x.X, scopes, inAggArg)
+		if err != nil {
+			return nil, types.KindNull, err
+		}
+		if x.Op == "NOT" {
+			return NotExpr{X: inner}, types.KindBool, nil
+		}
+		return NegExpr{X: inner}, kind, nil
+	case sql.IsNull:
+		inner, _, err := p.bindExpr(x.X, scopes, inAggArg)
+		if err != nil {
+			return nil, types.KindNull, err
+		}
+		return IsNullExpr{X: inner, Negate: x.Negate}, types.KindBool, nil
+	case sql.Subquery:
+		node, sscope, err := p.buildSelect(x.Stmt, scopes)
+		if err != nil {
+			return nil, types.KindNull, err
+		}
+		if sscope.schema.Len() != 1 {
+			return nil, types.KindNull, fmt.Errorf("plan: scalar sub-query must return one column, got %d", sscope.schema.Len())
+		}
+		return SubplanExpr{Plan: node, PerEvalCost: node.EstCost()}, sscope.schema.Cols[0].Type, nil
+	case sql.Exists:
+		node, _, err := p.buildSelect(x.Stmt, scopes)
+		if err != nil {
+			return nil, types.KindNull, err
+		}
+		return ExistsExpr{Plan: node, Negate: x.Negate, PerEvalCost: node.EstCost()}, types.KindBool, nil
+	case sql.AggCall:
+		return nil, types.KindNull, fmt.Errorf("plan: aggregate %s is not allowed here", x.String())
+	default:
+		return nil, types.KindNull, fmt.Errorf("plan: unsupported expression %T", e)
+	}
+}
+
+// stripQualifiers rewrites an AST expression with every column qualifier
+// removed (ORDER BY fallback after projection).
+func stripQualifiers(e sql.Expr) sql.Expr {
+	switch x := e.(type) {
+	case sql.ColumnRef:
+		return sql.ColumnRef{Name: x.Name}
+	case sql.Binary:
+		return sql.Binary{Op: x.Op, L: stripQualifiers(x.L), R: stripQualifiers(x.R)}
+	case sql.Unary:
+		return sql.Unary{Op: x.Op, X: stripQualifiers(x.X)}
+	case sql.IsNull:
+		return sql.IsNull{X: stripQualifiers(x.X), Negate: x.Negate}
+	default:
+		return e
+	}
+}
+
+func isAmbiguous(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "ambiguous")
+}
+
+func binaryKind(op sql.BinOp, l, r types.Kind) types.Kind {
+	switch op {
+	case sql.BinEq, sql.BinNe, sql.BinLt, sql.BinLe, sql.BinGt, sql.BinGe, sql.BinAnd, sql.BinOr:
+		return types.KindBool
+	case sql.BinDiv:
+		return types.KindFloat
+	default:
+		if l == types.KindFloat || r == types.KindFloat {
+			return types.KindFloat
+		}
+		return types.KindInt
+	}
+}
+
+// splitConjuncts flattens a tree of ANDs into its conjuncts.
+func splitConjuncts(e Expr) []Expr {
+	if be, ok := e.(BinaryExpr); ok && be.Op == sql.BinAnd {
+		return append(splitConjuncts(be.L), splitConjuncts(be.R)...)
+	}
+	return []Expr{e}
+}
+
+// joinConjuncts rebuilds a conjunction.
+func joinConjuncts(cs []Expr) Expr {
+	out := cs[0]
+	for _, c := range cs[1:] {
+		out = BinaryExpr{Op: sql.BinAnd, L: out, R: c}
+	}
+	return out
+}
+
+// --- node constructors with cost estimation ---
+
+func (p *Planner) tableStats(t *catalog.Table, name string) (rows, pages float64, stats *catalog.Stats) {
+	stats = p.cat.TableStats(name)
+	if stats != nil {
+		return float64(stats.RowCount), float64(stats.Pages), stats
+	}
+	return float64(t.Rel.NumRows()), float64(t.Rel.NumPages()), nil
+}
+
+func (p *Planner) newSeqScan(t *catalog.Table, ref sql.TableRef) *SeqScan {
+	rows, pages, _ := p.tableStats(t, ref.Table)
+	return &SeqScan{
+		Table:  t,
+		Name:   ref.Table,
+		Alias:  ref.Alias,
+		schema: t.Rel.Schema().WithQualifier(ref.Alias),
+		cost:   math.Max(1, pages),
+		rows:   rows,
+	}
+}
+
+func (p *Planner) newIndexScan(t *catalog.Table, ref sql.TableRef, bt *index.BTree, key Expr, origin colOrigin) Node {
+	rows, pages, stats := p.tableStats(t, ref.Table)
+	distinct := 1.0
+	if stats != nil {
+		if cs, ok := stats.Cols[origin.column]; ok && cs.Distinct > 0 {
+			distinct = float64(cs.Distinct)
+		}
+	}
+	matches := rows / distinct
+	heapPages := math.Min(matches, math.Max(pages, 1))
+	return &IndexScan{
+		Table:   t,
+		Index:   bt,
+		Name:    ref.Table,
+		Alias:   ref.Alias,
+		KeyExpr: key,
+		schema:  t.Rel.Schema().WithQualifier(ref.Alias),
+		cost:    float64(bt.Height()) + math.Max(1, heapPages),
+		rows:    matches,
+	}
+}
+
+func (p *Planner) newFilter(child Node, pred Expr, sc scope) *Filter {
+	sel := p.selectivity(pred, sc)
+	return &Filter{
+		Child: child,
+		Pred:  pred,
+		cost:  child.EstCost() + child.EstRows()*exprCost(pred),
+		rows:  math.Max(0, child.EstRows()*sel),
+	}
+}
+
+func (p *Planner) newProject(child Node, exprs []Expr, schema types.Schema) *Project {
+	perRow := 0.0
+	for _, e := range exprs {
+		perRow += exprCost(e)
+	}
+	return &Project{
+		Child:  child,
+		Exprs:  exprs,
+		schema: schema,
+		cost:   child.EstCost() + child.EstRows()*perRow,
+	}
+}
+
+func (p *Planner) newNLJoin(l, r Node) *NLJoin {
+	return &NLJoin{
+		L:      l,
+		R:      r,
+		schema: l.Schema().Concat(r.Schema()),
+		cost:   l.EstCost() + math.Max(1, l.EstRows())*r.EstCost(),
+		rows:   l.EstRows() * r.EstRows(),
+	}
+}
+
+func (p *Planner) newAgg(child Node, groupBy []Expr, aggs []AggSpec, schema types.Schema, sc scope) *Agg {
+	groups := 1.0
+	for _, g := range groupBy {
+		d := p.distinctOf(g, sc)
+		groups *= d
+	}
+	groups = math.Min(math.Max(1, groups), math.Max(1, child.EstRows()))
+	perRow := 0.0
+	for _, a := range aggs {
+		if a.Arg != nil {
+			perRow += exprCost(a.Arg)
+		}
+	}
+	outPages := math.Max(1, groups/float64(storage.PageSlots))
+	return &Agg{
+		Child:   child,
+		GroupBy: groupBy,
+		Aggs:    aggs,
+		schema:  schema,
+		cost:    child.EstCost() + child.EstRows()*perRow + outPages,
+		rows:    groups,
+	}
+}
+
+func (p *Planner) newDistinct(child Node) *Distinct {
+	rows := child.EstRows()
+	outPages := math.Max(1, rows/float64(storage.PageSlots))
+	return &Distinct{
+		Child: child,
+		cost:  child.EstCost() + outPages,
+		rows:  rows, // upper bound; duplicates only shrink it
+	}
+}
+
+func (p *Planner) newSort(child Node, keys []SortKey) *Sort {
+	matPages := math.Max(1, child.EstRows()/float64(storage.PageSlots))
+	return &Sort{
+		Child: child,
+		Keys:  keys,
+		cost:  child.EstCost() + 2*matPages,
+	}
+}
+
+// distinctOf estimates the number of distinct values an expression takes.
+func (p *Planner) distinctOf(e Expr, sc scope) float64 {
+	ci, ok := e.(ColIdx)
+	if !ok || ci.Idx >= len(sc.origins) {
+		return 10 // generic guess for computed group keys
+	}
+	origin := sc.origins[ci.Idx]
+	stats := p.cat.TableStats(origin.table)
+	if stats == nil {
+		return 10
+	}
+	if cs, ok := stats.Cols[origin.column]; ok && cs.Distinct > 0 {
+		return float64(cs.Distinct)
+	}
+	return 10
+}
+
+const defaultSelectivity = 1.0 / 3.0
+
+// selectivity estimates the fraction of rows a predicate passes, in the
+// System R tradition: 1/distinct for equality, min/max interpolation for
+// ranges, 1/3 when nothing is known.
+func (p *Planner) selectivity(pred Expr, sc scope) float64 {
+	switch x := pred.(type) {
+	case BinaryExpr:
+		switch x.Op {
+		case sql.BinAnd:
+			return p.selectivity(x.L, sc) * p.selectivity(x.R, sc)
+		case sql.BinOr:
+			a, b := p.selectivity(x.L, sc), p.selectivity(x.R, sc)
+			return a + b - a*b
+		case sql.BinEq:
+			if d, ok := p.eqDistinct(x, sc); ok {
+				return 1 / d
+			}
+			return defaultSelectivity / 3
+		case sql.BinNe:
+			if d, ok := p.eqDistinct(x, sc); ok {
+				return 1 - 1/d
+			}
+			return 1 - defaultSelectivity/3
+		case sql.BinLt, sql.BinLe, sql.BinGt, sql.BinGe:
+			return p.rangeSelectivity(x, sc)
+		default:
+			return defaultSelectivity
+		}
+	case NotExpr:
+		return 1 - p.selectivity(x.X, sc)
+	case IsNullExpr:
+		s := p.nullFrac(x.X, sc)
+		if x.Negate {
+			return 1 - s
+		}
+		return s
+	case Const:
+		if x.Val.Truthy() {
+			return 1
+		}
+		return 0
+	default:
+		return defaultSelectivity
+	}
+}
+
+// eqDistinct returns the distinct count of the column side of an equality
+// predicate whose other side is row-independent.
+func (p *Planner) eqDistinct(be BinaryExpr, sc scope) (float64, bool) {
+	col, other := be.L, be.R
+	if _, ok := col.(ColIdx); !ok {
+		col, other = be.R, be.L
+	}
+	ci, ok := col.(ColIdx)
+	if !ok || refsCurrentLevel(other) {
+		return 0, false
+	}
+	d := p.distinctOf(ci, sc)
+	if d <= 0 {
+		return 0, false
+	}
+	return d, true
+}
+
+// rangeSelectivity interpolates "col op const" against the column's min/max.
+func (p *Planner) rangeSelectivity(be BinaryExpr, sc scope) float64 {
+	col, other := be.L, be.R
+	op := be.Op
+	if _, ok := col.(ColIdx); !ok {
+		col, other = be.R, be.L
+		// Mirror the operator when the column is on the right.
+		switch op {
+		case sql.BinLt:
+			op = sql.BinGt
+		case sql.BinLe:
+			op = sql.BinGe
+		case sql.BinGt:
+			op = sql.BinLt
+		case sql.BinGe:
+			op = sql.BinLe
+		}
+	}
+	ci, ok := col.(ColIdx)
+	if !ok {
+		return defaultSelectivity
+	}
+	c, ok := other.(Const)
+	if !ok || !c.Val.IsNumeric() {
+		return defaultSelectivity
+	}
+	if ci.Idx >= len(sc.origins) {
+		return defaultSelectivity
+	}
+	origin := sc.origins[ci.Idx]
+	stats := p.cat.TableStats(origin.table)
+	if stats == nil {
+		return defaultSelectivity
+	}
+	cs, okc := stats.Cols[origin.column]
+	if !okc || cs.Min.IsNull() || cs.Max.IsNull() || !cs.Min.IsNumeric() {
+		return defaultSelectivity
+	}
+	v := c.Val.Float()
+	var frac float64
+	if cs.Hist != nil {
+		// Equi-depth histogram: robust on skewed distributions.
+		frac = cs.Hist.FracBelow(v)
+	} else {
+		lo, hi := cs.Min.Float(), cs.Max.Float()
+		if hi <= lo {
+			return defaultSelectivity
+		}
+		frac = (v - lo) / (hi - lo)
+		frac = math.Min(1, math.Max(0, frac))
+	}
+	switch op {
+	case sql.BinLt, sql.BinLe:
+		return frac
+	default:
+		return 1 - frac
+	}
+}
+
+func (p *Planner) nullFrac(e Expr, sc scope) float64 {
+	ci, ok := e.(ColIdx)
+	if !ok || ci.Idx >= len(sc.origins) {
+		return 0.01
+	}
+	origin := sc.origins[ci.Idx]
+	stats := p.cat.TableStats(origin.table)
+	if stats == nil {
+		return 0.01
+	}
+	if cs, ok := stats.Cols[origin.column]; ok {
+		return math.Max(cs.NullFrac, 0.001)
+	}
+	return 0.01
+}

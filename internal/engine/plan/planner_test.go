@@ -1,0 +1,344 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"mqpi/internal/engine/catalog"
+	"mqpi/internal/engine/sql"
+	"mqpi/internal/engine/types"
+)
+
+// testCatalog builds part(partkey, retailprice) with 100 rows and
+// lineitem(partkey, quantity, extendedprice) with 1000 rows, an index on
+// lineitem.partkey, and fresh statistics.
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+	if _, err := c.CreateTable("part", types.NewSchema(
+		types.Column{Name: "partkey", Type: types.KindInt},
+		types.Column{Name: "retailprice", Type: types.KindFloat},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("lineitem", types.NewSchema(
+		types.Column{Name: "partkey", Type: types.KindInt},
+		types.Column{Name: "quantity", Type: types.KindInt},
+		types.Column{Name: "extendedprice", Type: types.KindFloat},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := c.Insert("part", types.Row{types.NewInt(int64(i)), types.NewFloat(float64(100 + i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if err := c.Insert("lineitem", types.Row{
+			types.NewInt(int64(i % 100)),
+			types.NewInt(int64(1 + i%10)),
+			types.NewFloat(float64(i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.CreateIndex("li_pk", "lineitem", "partkey"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func planOf(t *testing.T, c *catalog.Catalog, src string) Node {
+	t.Helper()
+	sel, err := sql.ParseSelect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewPlanner(c).PlanSelect(sel)
+	if err != nil {
+		t.Fatalf("plan %q: %v", src, err)
+	}
+	return n
+}
+
+func planErr(t *testing.T, c *catalog.Catalog, src string) error {
+	t.Helper()
+	sel, err := sql.ParseSelect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewPlanner(c).PlanSelect(sel)
+	if err == nil {
+		t.Fatalf("plan %q should fail", src)
+	}
+	return err
+}
+
+func TestPlanSimpleScan(t *testing.T) {
+	c := testCatalog(t)
+	n := planOf(t, c, "SELECT * FROM part")
+	scan, ok := n.(*SeqScan)
+	if !ok {
+		t.Fatalf("got %T", n)
+	}
+	if scan.EstRows() != 100 {
+		t.Errorf("EstRows = %g", scan.EstRows())
+	}
+	if scan.EstCost() < 1 || scan.EstCost() > 3 {
+		t.Errorf("EstCost = %g (100 rows should be 2 pages)", scan.EstCost())
+	}
+}
+
+func TestPlanFilterSelectivity(t *testing.T) {
+	c := testCatalog(t)
+	n := planOf(t, c, "SELECT * FROM lineitem WHERE quantity = 3")
+	f, ok := n.(*Filter)
+	if !ok {
+		t.Fatalf("got %T", n)
+	}
+	// quantity has 10 distinct values -> 1000/10 = 100.
+	if f.EstRows() < 90 || f.EstRows() > 110 {
+		t.Errorf("eq selectivity rows = %g, want ~100", f.EstRows())
+	}
+}
+
+func TestPlanRangeSelectivity(t *testing.T) {
+	c := testCatalog(t)
+	n := planOf(t, c, "SELECT * FROM lineitem WHERE extendedprice < 250")
+	// extendedprice spans [0, 999]; < 250 is ~25%.
+	if n.EstRows() < 200 || n.EstRows() > 300 {
+		t.Errorf("range rows = %g, want ~250", n.EstRows())
+	}
+	n2 := planOf(t, c, "SELECT * FROM lineitem WHERE 250 > extendedprice")
+	if got, want := n2.EstRows(), n.EstRows(); got != want {
+		t.Errorf("mirrored comparison: %g vs %g", got, want)
+	}
+}
+
+func TestPlanIndexScanForLiteralKey(t *testing.T) {
+	c := testCatalog(t)
+	n := planOf(t, c, "SELECT * FROM lineitem WHERE partkey = 7")
+	scan, ok := n.(*IndexScan)
+	if !ok {
+		t.Fatalf("expected IndexScan, got %T: %s", n, Explain(n))
+	}
+	if scan.EstRows() != 10 { // 1000 rows / 100 distinct keys
+		t.Errorf("index EstRows = %g, want 10", scan.EstRows())
+	}
+	// An index scan for 10 rows must be far cheaper than the 16-page seqscan.
+	if scan.EstCost() >= 16 {
+		t.Errorf("index cost %g not cheaper than seqscan", scan.EstCost())
+	}
+}
+
+func TestPlanIndexNotUsedForNonEq(t *testing.T) {
+	c := testCatalog(t)
+	n := planOf(t, c, "SELECT * FROM lineitem WHERE partkey > 7")
+	if _, ok := n.(*Filter); !ok {
+		t.Fatalf("range predicate should not use the eq-index path, got %T", n)
+	}
+}
+
+func TestPlanIndexNotUsedForColumnColumn(t *testing.T) {
+	c := testCatalog(t)
+	// partkey = quantity references the same table on both sides: no index.
+	n := planOf(t, c, "SELECT * FROM lineitem WHERE partkey = quantity")
+	f, ok := n.(*Filter)
+	if !ok {
+		t.Fatalf("got %T", n)
+	}
+	if _, ok := f.Child.(*SeqScan); !ok {
+		t.Fatalf("child should be SeqScan, got %T", f.Child)
+	}
+}
+
+func TestPlanCorrelatedSubqueryUsesIndex(t *testing.T) {
+	c := testCatalog(t)
+	q := `SELECT * FROM part p WHERE p.retailprice >
+	      (SELECT SUM(l.extendedprice) FROM lineitem l WHERE l.partkey = p.partkey)`
+	n := planOf(t, c, q)
+	f, ok := n.(*Filter)
+	if !ok {
+		t.Fatalf("got %T", n)
+	}
+	be, ok := f.Pred.(BinaryExpr)
+	if !ok {
+		t.Fatalf("pred %T", f.Pred)
+	}
+	sub, ok := be.R.(SubplanExpr)
+	if !ok {
+		t.Fatalf("rhs %T", be.R)
+	}
+	// The subplan must bottom out at an IndexScan keyed by the outer column.
+	var found *IndexScan
+	var walk func(n Node)
+	walk = func(n Node) {
+		if is, ok := n.(*IndexScan); ok {
+			found = is
+		}
+		for _, ch := range n.Children() {
+			walk(ch)
+		}
+	}
+	walk(sub.Plan)
+	if found == nil {
+		t.Fatalf("no IndexScan in subplan:\n%s", Explain(sub.Plan))
+	}
+	oc, ok := found.KeyExpr.(OuterCol)
+	if !ok || oc.Level != 1 {
+		t.Errorf("key expr = %v, want level-1 outer ref", found.KeyExpr)
+	}
+	// The filter's cost must include per-row subplan cost: much larger than
+	// the bare part scan.
+	if f.EstCost() < 100*sub.PerEvalCost/2 {
+		t.Errorf("filter cost %g does not account for %d×%g subplan evals",
+			f.EstCost(), 100, sub.PerEvalCost)
+	}
+}
+
+func TestPlanAggregateShape(t *testing.T) {
+	c := testCatalog(t)
+	n := planOf(t, c, "SELECT quantity, SUM(extendedprice), COUNT(*) FROM lineitem GROUP BY quantity")
+	proj, ok := n.(*Project)
+	if !ok {
+		t.Fatalf("got %T", n)
+	}
+	agg, ok := proj.Child.(*Agg)
+	if !ok {
+		t.Fatalf("child %T", proj.Child)
+	}
+	if len(agg.GroupBy) != 1 || len(agg.Aggs) != 2 {
+		t.Fatalf("agg shape: %d group, %d aggs", len(agg.GroupBy), len(agg.Aggs))
+	}
+	if agg.EstRows() != 10 {
+		t.Errorf("group count = %g, want 10 (distinct quantity)", agg.EstRows())
+	}
+	sch := n.Schema()
+	if sch.Cols[0].Name != "quantity" || sch.Cols[0].Type != types.KindInt {
+		t.Errorf("out col 0: %+v", sch.Cols[0])
+	}
+	if sch.Cols[1].Type != types.KindFloat {
+		t.Errorf("SUM(float) type = %v", sch.Cols[1].Type)
+	}
+	if sch.Cols[2].Type != types.KindInt {
+		t.Errorf("COUNT(*) type = %v", sch.Cols[2].Type)
+	}
+}
+
+func TestPlanScalarAggregate(t *testing.T) {
+	c := testCatalog(t)
+	n := planOf(t, c, "SELECT AVG(extendedprice) FROM lineitem")
+	proj := n.(*Project)
+	agg := proj.Child.(*Agg)
+	if agg.EstRows() != 1 {
+		t.Errorf("scalar agg rows = %g", agg.EstRows())
+	}
+	if n.Schema().Cols[0].Type != types.KindFloat {
+		t.Errorf("AVG type = %v", n.Schema().Cols[0].Type)
+	}
+}
+
+func TestPlanJoinShape(t *testing.T) {
+	c := testCatalog(t)
+	n := planOf(t, c, "SELECT * FROM part p, lineitem l WHERE p.partkey = l.partkey")
+	f, ok := n.(*Filter)
+	if !ok {
+		t.Fatalf("got %T", n)
+	}
+	j, ok := f.Child.(*NLJoin)
+	if !ok {
+		t.Fatalf("child %T", f.Child)
+	}
+	if j.Schema().Len() != 5 {
+		t.Errorf("join schema width = %d", j.Schema().Len())
+	}
+	// Join cost must dominate either scan alone.
+	if j.EstCost() <= 16 {
+		t.Errorf("join cost = %g", j.EstCost())
+	}
+}
+
+func TestPlanOrderByAndLimit(t *testing.T) {
+	c := testCatalog(t)
+	n := planOf(t, c, "SELECT partkey, retailprice FROM part ORDER BY retailprice DESC LIMIT 5")
+	lim, ok := n.(*Limit)
+	if !ok {
+		t.Fatalf("got %T", n)
+	}
+	if lim.EstRows() != 5 {
+		t.Errorf("limit rows = %g", lim.EstRows())
+	}
+	srt, ok := lim.Child.(*Sort)
+	if !ok {
+		t.Fatalf("limit child %T", lim.Child)
+	}
+	if len(srt.Keys) != 1 || !srt.Keys[0].Desc {
+		t.Errorf("sort keys: %+v", srt.Keys)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	c := testCatalog(t)
+	cases := []string{
+		"SELECT nope FROM part",
+		"SELECT * FROM missing",
+		"SELECT partkey FROM part, lineitem",                        // ambiguous
+		"SELECT retailprice FROM part GROUP BY partkey",             // not in group by
+		"SELECT partkey FROM part HAVING COUNT(*) > 1 ORDER BY x",   // having without aggregation is fine? partkey not agg...
+		"SELECT (SELECT partkey, quantity FROM lineitem) FROM part", // 2-col subquery
+		"SELECT SUM(SUM(retailprice)) FROM part",                    // nested agg? inner SUM not allowed in arg
+	}
+	for _, src := range cases {
+		planErr(t, c, src)
+	}
+}
+
+func TestExplainContainsOperators(t *testing.T) {
+	c := testCatalog(t)
+	n := planOf(t, c, "SELECT quantity, COUNT(*) FROM lineitem WHERE partkey = 3 GROUP BY quantity ORDER BY quantity LIMIT 2")
+	out := Explain(n)
+	for _, frag := range []string{"Limit", "Sort", "Project", "Aggregate", "IndexScan"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Explain missing %s:\n%s", frag, out)
+		}
+	}
+}
+
+func TestPlanHavingWithoutGroupBy(t *testing.T) {
+	c := testCatalog(t)
+	// Aggregate-only HAVING without GROUP BY is legal (scalar aggregation).
+	n := planOf(t, c, "SELECT COUNT(*) FROM part HAVING COUNT(*) > 0")
+	if n.Schema().Len() != 1 {
+		t.Errorf("schema: %v", n.Schema())
+	}
+}
+
+func TestSelectivityBounds(t *testing.T) {
+	c := testCatalog(t)
+	// AND of two predicates is at most either alone.
+	one := planOf(t, c, "SELECT * FROM lineitem WHERE quantity = 3")
+	both := planOf(t, c, "SELECT * FROM lineitem WHERE quantity = 3 AND extendedprice < 250")
+	if both.EstRows() > one.EstRows() {
+		t.Errorf("AND grew rows: %g > %g", both.EstRows(), one.EstRows())
+	}
+	// OR is at least either alone.
+	or := planOf(t, c, "SELECT * FROM lineitem WHERE quantity = 3 OR extendedprice < 250")
+	if or.EstRows() < one.EstRows() {
+		t.Errorf("OR shrank rows: %g < %g", or.EstRows(), one.EstRows())
+	}
+}
+
+func TestExplainRecursesIntoSubplans(t *testing.T) {
+	c := testCatalog(t)
+	n := planOf(t, c, `SELECT * FROM part p WHERE p.retailprice >
+	      (SELECT SUM(l.extendedprice) FROM lineitem l WHERE l.partkey = p.partkey)`)
+	out := Explain(n)
+	for _, frag := range []string{"SubPlan:", "IndexScan lineitem", "Aggregate SUM"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Explain missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mqpi/internal/engine/types"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := testDB(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same tables.
+	n1, n2 := db.Catalog().TableNames(), db2.Catalog().TableNames()
+	if strings.Join(n1, ",") != strings.Join(n2, ",") {
+		t.Fatalf("tables: %v vs %v", n1, n2)
+	}
+	// Identical query results, including through the rebuilt index.
+	queries := []string{
+		"SELECT * FROM part ORDER BY partkey",
+		"SELECT * FROM lineitem WHERE partkey = 7 ORDER BY extendedprice",
+		"SELECT quantity, COUNT(*), SUM(extendedprice) FROM lineitem GROUP BY quantity ORDER BY quantity",
+	}
+	for _, src := range queries {
+		a := query(t, db, src)
+		b := query(t, db2, src)
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d rows", src, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Key() != b[i].Key() {
+				t.Fatalf("%s: row %d differs: %v vs %v", src, i, a[i], b[i])
+			}
+		}
+	}
+	// Statistics were re-collected (testDB analyzed the original).
+	if db2.Catalog().TableStats("lineitem") == nil {
+		t.Error("stats not restored")
+	}
+	// Plans agree on cost (same data, same stats).
+	p1, err := db.Plan("SELECT * FROM lineitem WHERE partkey = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := db2.Plan("SELECT * FROM lineitem WHERE partkey = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.EstCost() != p2.EstCost() {
+		t.Errorf("plan costs differ after reload: %g vs %g", p1.EstCost(), p2.EstCost())
+	}
+}
+
+// Property: any random database round-trips exactly.
+func TestSnapshotRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := Open()
+		if _, err := db.Exec("CREATE TABLE r (a BIGINT, b DOUBLE, c TEXT, d BOOLEAN)"); err != nil {
+			return false
+		}
+		cat := db.Catalog()
+		n := rng.Intn(300)
+		for i := 0; i < n; i++ {
+			row := types.Row{
+				randValue(rng, types.KindInt),
+				randValue(rng, types.KindFloat),
+				randValue(rng, types.KindString),
+				randValue(rng, types.KindBool),
+			}
+			if err := cat.Insert("r", row); err != nil {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if err := db.Save(&buf); err != nil {
+			return false
+		}
+		db2, err := Load(&buf)
+		if err != nil {
+			t.Logf("seed %d: load: %v", seed, err)
+			return false
+		}
+		a, _, _, err1 := db.Query("SELECT * FROM r")
+		b, _, _, err2 := db2.Query("SELECT * FROM r")
+		if err1 != nil || err2 != nil || len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].Key() != b[i].Key() {
+				t.Logf("seed %d: row %d: %v vs %v", seed, i, a[i], b[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randValue(rng *rand.Rand, kind types.Kind) types.Value {
+	if rng.Intn(8) == 0 {
+		return types.Null
+	}
+	switch kind {
+	case types.KindInt:
+		return types.NewInt(rng.Int63() - rng.Int63())
+	case types.KindFloat:
+		return types.NewFloat(rng.NormFloat64() * 1e6)
+	case types.KindString:
+		b := make([]byte, rng.Intn(20))
+		for i := range b {
+			b[i] = byte(32 + rng.Intn(95))
+		}
+		return types.NewString(string(b))
+	default:
+		return types.NewBool(rng.Intn(2) == 0)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("nope"),
+		[]byte("MQPI1"), // truncated after magic
+		append([]byte("MQPI1"), 0xff, 0xff, 0xff, 0xff), // absurd table count then EOF
+	}
+	for i, data := range cases {
+		if _, err := Load(bytes.NewReader(data)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestLoadRejectsTruncatedSnapshot(t *testing.T) {
+	db := testDB(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{len(data) / 4, len(data) / 2, len(data) - 3} {
+		if _, err := Load(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestSnapshotEmptyDatabase(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Open().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Catalog().TableNames()) != 0 {
+		t.Error("empty database should stay empty")
+	}
+}

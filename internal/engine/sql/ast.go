@@ -1,0 +1,356 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"mqpi/internal/engine/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTable is CREATE TABLE name (col type, ...).
+type CreateTable struct {
+	Name string
+	Cols []types.Column
+}
+
+// CreateIndex is CREATE INDEX name ON table (column).
+type CreateIndex struct {
+	Name   string
+	Table  string
+	Column string
+}
+
+// DropTable is DROP TABLE name.
+type DropTable struct {
+	Name string
+}
+
+// Insert is INSERT INTO table VALUES (...), (...). Expressions must be
+// constant (no column references).
+type Insert struct {
+	Table string
+	Rows  [][]Expr
+}
+
+// Delete is DELETE FROM table [WHERE expr]. The predicate may reference the
+// table's columns and contain (correlated) sub-queries.
+type Delete struct {
+	Table string
+	Where Expr // nil deletes everything
+}
+
+// SetClause is one "col = expr" assignment of an UPDATE.
+type SetClause struct {
+	Column string
+	Expr   Expr
+}
+
+// Update is UPDATE table SET col = expr [, ...] [WHERE expr]. Set
+// expressions may reference the row being updated.
+type Update struct {
+	Table string
+	Sets  []SetClause
+	Where Expr // nil updates everything
+}
+
+// SelectItem is one entry of a select list.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool // SELECT * (Expr is nil)
+}
+
+// TableRef names a table in the FROM clause, optionally aliased.
+type TableRef struct {
+	Table string
+	Alias string // defaults to Table
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Select is a SELECT statement. Multiple FROM entries form a cross product
+// (restricted by WHERE), the classic comma join.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr // nil if absent
+	GroupBy  []Expr
+	Having   Expr // nil if absent
+	OrderBy  []OrderItem
+	Limit    *int64 // nil if absent
+}
+
+func (CreateTable) stmt() {}
+func (CreateIndex) stmt() {}
+func (DropTable) stmt()   {}
+func (Insert) stmt()      {}
+func (Delete) stmt()      {}
+func (Update) stmt()      {}
+func (*Select) stmt()     {}
+
+// Expr is any SQL expression node.
+type Expr interface {
+	expr()
+	// String renders the expression back to SQL-ish text.
+	String() string
+}
+
+// ColumnRef references a column, optionally qualified by a table alias.
+type ColumnRef struct {
+	Qualifier string
+	Name      string
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Val types.Value
+}
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+const (
+	BinAdd BinOp = iota
+	BinSub
+	BinMul
+	BinDiv
+	BinEq
+	BinNe
+	BinLt
+	BinLe
+	BinGt
+	BinGe
+	BinAnd
+	BinOr
+)
+
+// String renders the operator.
+func (op BinOp) String() string {
+	switch op {
+	case BinAdd:
+		return "+"
+	case BinSub:
+		return "-"
+	case BinMul:
+		return "*"
+	case BinDiv:
+		return "/"
+	case BinEq:
+		return "="
+	case BinNe:
+		return "<>"
+	case BinLt:
+		return "<"
+	case BinLe:
+		return "<="
+	case BinGt:
+		return ">"
+	case BinGe:
+		return ">="
+	case BinAnd:
+		return "AND"
+	case BinOr:
+		return "OR"
+	default:
+		return fmt.Sprintf("BinOp(%d)", uint8(op))
+	}
+}
+
+// Binary is a binary expression.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Unary is NOT expr or -expr.
+type Unary struct {
+	Op string // "NOT" or "-"
+	X  Expr
+}
+
+// AggFunc enumerates aggregate functions.
+type AggFunc uint8
+
+const (
+	AggSum AggFunc = iota
+	AggCount
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String renders the aggregate function name.
+func (f AggFunc) String() string {
+	switch f {
+	case AggSum:
+		return "SUM"
+	case AggCount:
+		return "COUNT"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", uint8(f))
+	}
+}
+
+// AggCall is an aggregate function application: SUM(expr) or COUNT(*).
+type AggCall struct {
+	Func AggFunc
+	Arg  Expr // nil for COUNT(*)
+	Star bool
+}
+
+// Subquery is a scalar sub-query usable in expressions. If it references
+// columns of the outer query it is correlated; the planner re-plans it per
+// outer row through parameter bindings.
+type Subquery struct {
+	Stmt *Select
+}
+
+// Exists is EXISTS (SELECT ...): true when the sub-query yields any row.
+type Exists struct {
+	Stmt   *Select
+	Negate bool // NOT EXISTS
+}
+
+// IsNull is "expr IS [NOT] NULL".
+type IsNull struct {
+	X      Expr
+	Negate bool
+}
+
+func (ColumnRef) expr() {}
+func (Literal) expr()   {}
+func (Binary) expr()    {}
+func (Unary) expr()     {}
+func (AggCall) expr()   {}
+func (Subquery) expr()  {}
+func (Exists) expr()    {}
+func (IsNull) expr()    {}
+
+func (c ColumnRef) String() string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Name
+	}
+	return c.Name
+}
+
+func (l Literal) String() string {
+	if l.Val.Kind() == types.KindString {
+		return "'" + strings.ReplaceAll(l.Val.Str(), "'", "''") + "'"
+	}
+	return l.Val.String()
+}
+
+func (b Binary) String() string {
+	return "(" + b.L.String() + " " + b.Op.String() + " " + b.R.String() + ")"
+}
+
+func (u Unary) String() string {
+	if u.Op == "NOT" {
+		return "NOT " + u.X.String()
+	}
+	return "(" + u.Op + u.X.String() + ")"
+}
+
+func (a AggCall) String() string {
+	if a.Star {
+		return a.Func.String() + "(*)"
+	}
+	return a.Func.String() + "(" + a.Arg.String() + ")"
+}
+
+func (s Subquery) String() string { return "(" + renderSelect(s.Stmt) + ")" }
+
+func (e Exists) String() string {
+	prefix := "EXISTS "
+	if e.Negate {
+		prefix = "NOT EXISTS "
+	}
+	return prefix + "(" + renderSelect(e.Stmt) + ")"
+}
+
+func (n IsNull) String() string {
+	if n.Negate {
+		return n.X.String() + " IS NOT NULL"
+	}
+	return n.X.String() + " IS NULL"
+}
+
+// renderSelect renders a Select back to SQL; used for diagnostics.
+func renderSelect(s *Select) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Star {
+			b.WriteByte('*')
+			continue
+		}
+		b.WriteString(it.Expr.String())
+		if it.Alias != "" {
+			b.WriteString(" AS " + it.Alias)
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Table)
+		if t.Alias != "" && t.Alias != t.Table {
+			b.WriteString(" " + t.Alias)
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.String())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit != nil {
+		fmt.Fprintf(&b, " LIMIT %d", *s.Limit)
+	}
+	return b.String()
+}
+
+// String renders the Select statement.
+func (s *Select) String() string { return renderSelect(s) }

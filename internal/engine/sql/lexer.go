@@ -1,0 +1,158 @@
+// Package sql implements the engine's SQL front end: a lexer, an AST, and a
+// recursive-descent parser for the dialect the paper's workload needs —
+// CREATE TABLE / CREATE INDEX / INSERT / SELECT with WHERE, aggregates,
+// GROUP BY, ORDER BY, LIMIT, and scalar (correlated) sub-queries.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer tokens.
+type TokenKind uint8
+
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokSymbol // punctuation and operators
+)
+
+// Token is one lexical unit. Keywords are upper-cased in Text; identifiers
+// are lower-cased (the dialect is case-insensitive, like PostgreSQL).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int // byte offset in the input, for error messages
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"AND": true, "OR": true, "NOT": true, "AS": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "CREATE": true, "TABLE": true,
+	"INDEX": true, "ON": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"SUM": true, "COUNT": true, "AVG": true, "MIN": true, "MAX": true,
+	"BETWEEN": true, "IS": true, "DISTINCT": true, "DROP": true,
+	"DELETE": true, "UPDATE": true, "SET": true, "EXISTS": true,
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+// Lex tokenizes the input. It returns an error for unterminated strings or
+// bytes outside the dialect.
+func Lex(src string) ([]Token, error) {
+	lx := &lexer{src: src}
+	var toks []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *lexer) next() (Token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.pos++
+		case c == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '-':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return Token{Kind: TokEOF, Pos: lx.pos}, nil
+
+scan:
+	start := lx.pos
+	c := lx.src[lx.pos]
+	switch {
+	case isIdentStart(c):
+		for lx.pos < len(lx.src) && isIdentPart(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		word := lx.src[start:lx.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return Token{Kind: TokKeyword, Text: up, Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: strings.ToLower(word), Pos: start}, nil
+	case c >= '0' && c <= '9' || c == '.' && lx.pos+1 < len(lx.src) && isDigit(lx.src[lx.pos+1]):
+		seenDot := false
+		for lx.pos < len(lx.src) {
+			ch := lx.src[lx.pos]
+			if isDigit(ch) {
+				lx.pos++
+				continue
+			}
+			if ch == '.' && !seenDot {
+				seenDot = true
+				lx.pos++
+				continue
+			}
+			break
+		}
+		return Token{Kind: TokNumber, Text: lx.src[start:lx.pos], Pos: start}, nil
+	case c == '\'':
+		lx.pos++
+		var b strings.Builder
+		for {
+			if lx.pos >= len(lx.src) {
+				return Token{}, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			ch := lx.src[lx.pos]
+			if ch == '\'' {
+				if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '\'' { // escaped quote
+					b.WriteByte('\'')
+					lx.pos += 2
+					continue
+				}
+				lx.pos++
+				return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
+			}
+			b.WriteByte(ch)
+			lx.pos++
+		}
+	default:
+		// Multi-byte operators first.
+		for _, op := range []string{"<>", "<=", ">=", "!="} {
+			if strings.HasPrefix(lx.src[lx.pos:], op) {
+				lx.pos += 2
+				return Token{Kind: TokSymbol, Text: op, Pos: start}, nil
+			}
+		}
+		switch c {
+		case '(', ')', ',', '*', '+', '-', '/', '=', '<', '>', ';', '.':
+			lx.pos++
+			return Token{Kind: TokSymbol, Text: string(c), Pos: start}, nil
+		}
+		if c < 128 && unicode.IsPrint(rune(c)) {
+			return Token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+		}
+		return Token{}, fmt.Errorf("sql: unexpected byte 0x%02x at offset %d", c, start)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,132 @@
+package sql
+
+import (
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT a, b FROM t WHERE a >= 1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{TokKeyword, "SELECT"},
+		{TokIdent, "a"},
+		{TokSymbol, ","},
+		{TokIdent, "b"},
+		{TokKeyword, "FROM"},
+		{TokIdent, "t"},
+		{TokKeyword, "WHERE"},
+		{TokIdent, "a"},
+		{TokSymbol, ">="},
+		{TokNumber, "1.5"},
+		{TokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = {%d %q}, want {%d %q}", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexCaseFolding(t *testing.T) {
+	toks, err := Lex("select FOO From BaR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "SELECT" || toks[0].Kind != TokKeyword {
+		t.Errorf("keywords upper-case: %v", toks[0])
+	}
+	if toks[1].Text != "foo" || toks[1].Kind != TokIdent {
+		t.Errorf("identifiers lower-case: %v", toks[1])
+	}
+	if toks[3].Text != "bar" {
+		t.Errorf("identifier = %q", toks[3].Text)
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := Lex(`'hello' 'it''s'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokString || toks[0].Text != "hello" {
+		t.Errorf("string 0: %v", toks[0])
+	}
+	if toks[1].Text != "it's" {
+		t.Errorf("escaped quote: %q", toks[1].Text)
+	}
+	if _, err := Lex("'unterminated"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("SELECT -- a comment\n 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[1].Kind != TokNumber {
+		t.Errorf("comment not skipped: %v", toks)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex("<> <= >= != < > = + - * / ( ) . ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<>", "<=", ">=", "!=", "<", ">", "=", "+", "-", "*", "/", "(", ")", ".", ";"}
+	if len(toks) != len(want)+1 {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	for i, w := range want {
+		if toks[i].Text != w || toks[i].Kind != TokSymbol {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Lex("42 0.75 .5 100.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"42", "0.75", ".5", "100."}
+	for i, w := range want {
+		if toks[i].Kind != TokNumber || toks[i].Text != w {
+			t.Errorf("number %d = {%d %q}, want %q", i, toks[i].Kind, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexBadByte(t *testing.T) {
+	if _, err := Lex("SELECT @"); err == nil {
+		t.Error("@ should be rejected")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("ab  cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != 0 || toks[1].Pos != 4 {
+		t.Errorf("positions: %d, %d", toks[0].Pos, toks[1].Pos)
+	}
+	_ = kinds(toks)
+}

@@ -1,0 +1,683 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mqpi/internal/engine/types"
+)
+
+// Parse parses a single SQL statement (an optional trailing semicolon is
+// allowed).
+func Parse(src string) (Statement, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokSymbol, ";")
+	if !p.at(TokEOF, "") {
+		return nil, p.errorf("trailing input starting at %q", p.peek().Text)
+	}
+	return st, nil
+}
+
+// ParseSelect parses a statement and requires it to be a SELECT.
+func ParseSelect(src string) (*Select, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*Select)
+	if !ok {
+		return nil, fmt.Errorf("sql: expected SELECT statement, got %T", st)
+	}
+	return sel, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(kind TokenKind, text string) bool {
+	t := p.peek()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) accept(kind TokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokenKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		return p.advance(), nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return Token{}, p.errorf("expected %s, got %q", want, p.peek().Text)
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("sql: parse error at offset %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.at(TokKeyword, "SELECT"):
+		return p.selectStmt()
+	case p.accept(TokKeyword, "CREATE"):
+		if p.accept(TokKeyword, "TABLE") {
+			return p.createTable()
+		}
+		if p.accept(TokKeyword, "INDEX") {
+			return p.createIndex()
+		}
+		return nil, p.errorf("expected TABLE or INDEX after CREATE")
+	case p.accept(TokKeyword, "DROP"):
+		if _, err := p.expect(TokKeyword, "TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return DropTable{Name: name}, nil
+	case p.accept(TokKeyword, "INSERT"):
+		return p.insert()
+	case p.accept(TokKeyword, "DELETE"):
+		return p.deleteStmt()
+	case p.accept(TokKeyword, "UPDATE"):
+		return p.updateStmt()
+	default:
+		return nil, p.errorf("expected a statement, got %q", p.peek().Text)
+	}
+}
+
+func (p *parser) deleteStmt() (Statement, error) {
+	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := Delete{Table: table}
+	if p.accept(TokKeyword, "WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *parser) updateStmt() (Statement, error) {
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	st := Update{Table: table}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Sets = append(st.Sets, SetClause{Column: col, Expr: e})
+		if p.accept(TokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if p.accept(TokKeyword, "WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.Kind == TokIdent {
+		p.advance()
+		return t.Text, nil
+	}
+	return "", p.errorf("expected identifier, got %q", t.Text)
+}
+
+func (p *parser) createTable() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSymbol, "("); err != nil {
+		return nil, err
+	}
+	var cols []types.Column
+	for {
+		colName, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		typeTok := p.advance()
+		if typeTok.Kind != TokIdent && typeTok.Kind != TokKeyword {
+			return nil, p.errorf("expected type name after column %q", colName)
+		}
+		kind, err := types.ParseKind(strings.ToUpper(typeTok.Text))
+		if err != nil {
+			return nil, p.errorf("%v", err)
+		}
+		cols = append(cols, types.Column{Name: colName, Type: kind})
+		if p.accept(TokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return CreateTable{Name: name, Cols: cols}, nil
+}
+
+func (p *parser) createIndex() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSymbol, "("); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return CreateIndex{Name: name, Table: table, Column: col}, nil
+}
+
+func (p *parser) insert() (Statement, error) {
+	if _, err := p.expect(TokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	var rows [][]Expr
+	for {
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.accept(TokSymbol, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		if p.accept(TokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	return Insert{Table: table, Rows: rows}, nil
+}
+
+func (p *parser) selectStmt() (*Select, error) {
+	if _, err := p.expect(TokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{}
+	if p.accept(TokKeyword, "DISTINCT") {
+		sel.Distinct = true
+	}
+	for {
+		if p.accept(TokSymbol, "*") {
+			sel.Items = append(sel.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.accept(TokKeyword, "AS") {
+				alias, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = alias
+			} else if p.at(TokIdent, "") {
+				item.Alias = p.advance().Text
+			}
+			sel.Items = append(sel.Items, item)
+		}
+		if p.accept(TokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		table, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ref := TableRef{Table: table, Alias: table}
+		if p.accept(TokKeyword, "AS") {
+			alias, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ref.Alias = alias
+		} else if p.at(TokIdent, "") {
+			ref.Alias = p.advance().Text
+		}
+		sel.From = append(sel.From, ref)
+		if p.accept(TokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if p.accept(TokKeyword, "WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.accept(TokKeyword, "GROUP") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if p.accept(TokSymbol, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.accept(TokKeyword, "HAVING") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	if p.accept(TokKeyword, "ORDER") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(TokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(TokKeyword, "ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if p.accept(TokSymbol, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.accept(TokKeyword, "LIMIT") {
+		t, err := p.expect(TokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, p.errorf("invalid LIMIT %q", t.Text)
+		}
+		sel.Limit = &n
+	}
+	return sel, nil
+}
+
+// Expression grammar, loosest binding first:
+//
+//	expr    := orExpr
+//	orExpr  := andExpr (OR andExpr)*
+//	andExpr := notExpr (AND notExpr)*
+//	notExpr := NOT notExpr | cmpExpr
+//	cmpExpr := addExpr ((=|<>|!=|<|<=|>|>=) addExpr | IS [NOT] NULL | BETWEEN addExpr AND addExpr)?
+//	addExpr := mulExpr ((+|-) mulExpr)*
+//	mulExpr := unary ((*|/) unary)*
+//	unary   := - unary | primary
+//	primary := literal | aggcall | column | ( expr ) | ( select )
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: BinOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: BinAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.accept(TokKeyword, "NOT") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		// NOT [NOT ...] EXISTS folds into the Exists node.
+		if ex, ok := x.(Exists); ok {
+			ex.Negate = !ex.Negate
+			return ex, nil
+		}
+		return Unary{Op: "NOT", X: x}, nil
+	}
+	return p.cmpExpr()
+}
+
+var cmpOps = map[string]BinOp{
+	"=": BinEq, "<>": BinNe, "!=": BinNe,
+	"<": BinLt, "<=": BinLe, ">": BinGt, ">=": BinGe,
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(TokSymbol, "") {
+		if op, ok := cmpOps[p.peek().Text]; ok {
+			p.advance()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	if p.accept(TokKeyword, "IS") {
+		negate := p.accept(TokKeyword, "NOT")
+		if _, err := p.expect(TokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return IsNull{X: l, Negate: negate}, nil
+	}
+	if p.accept(TokKeyword, "BETWEEN") {
+		lo, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Binary{
+			Op: BinAnd,
+			L:  Binary{Op: BinGe, L: l, R: lo},
+			R:  Binary{Op: BinLe, L: l, R: hi},
+		}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch {
+		case p.accept(TokSymbol, "+"):
+			op = BinAdd
+		case p.accept(TokSymbol, "-"):
+			op = BinSub
+		default:
+			return l, nil
+		}
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch {
+		case p.accept(TokSymbol, "*"):
+			op = BinMul
+		case p.accept(TokSymbol, "/"):
+			op = BinDiv
+		default:
+			return l, nil
+		}
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.accept(TokSymbol, "-") {
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := x.(Literal); ok && lit.Val.IsNumeric() {
+			// Fold negative literals immediately.
+			if lit.Val.Kind() == types.KindInt {
+				return Literal{Val: types.NewInt(-lit.Val.Int())}, nil
+			}
+			return Literal{Val: types.NewFloat(-lit.Val.Float())}, nil
+		}
+		return Unary{Op: "-", X: x}, nil
+	}
+	return p.primary()
+}
+
+var aggNames = map[string]AggFunc{
+	"SUM": AggSum, "COUNT": AggCount, "AVG": AggAvg, "MIN": AggMin, "MAX": AggMax,
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.advance()
+		if strings.Contains(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errorf("invalid number %q", t.Text)
+			}
+			return Literal{Val: types.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("invalid number %q", t.Text)
+		}
+		return Literal{Val: types.NewInt(n)}, nil
+	case TokString:
+		p.advance()
+		return Literal{Val: types.NewString(t.Text)}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.advance()
+			return Literal{Val: types.Null}, nil
+		case "TRUE":
+			p.advance()
+			return Literal{Val: types.NewBool(true)}, nil
+		case "FALSE":
+			p.advance()
+			return Literal{Val: types.NewBool(false)}, nil
+		case "EXISTS":
+			p.advance()
+			if _, err := p.expect(TokSymbol, "("); err != nil {
+				return nil, err
+			}
+			sub, err := p.selectStmt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return Exists{Stmt: sub}, nil
+		}
+		if fn, ok := aggNames[t.Text]; ok {
+			p.advance()
+			if _, err := p.expect(TokSymbol, "("); err != nil {
+				return nil, err
+			}
+			if p.accept(TokSymbol, "*") {
+				if fn != AggCount {
+					return nil, p.errorf("%s(*) is only valid for COUNT", t.Text)
+				}
+				if _, err := p.expect(TokSymbol, ")"); err != nil {
+					return nil, err
+				}
+				return AggCall{Func: AggCount, Star: true}, nil
+			}
+			arg, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return AggCall{Func: fn, Arg: arg}, nil
+		}
+		return nil, p.errorf("unexpected keyword %q in expression", t.Text)
+	case TokIdent:
+		p.advance()
+		if p.accept(TokSymbol, ".") {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return ColumnRef{Qualifier: t.Text, Name: name}, nil
+		}
+		return ColumnRef{Name: t.Text}, nil
+	case TokSymbol:
+		if t.Text == "(" {
+			p.advance()
+			if p.at(TokKeyword, "SELECT") {
+				sub, err := p.selectStmt()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokSymbol, ")"); err != nil {
+					return nil, err
+				}
+				return Subquery{Stmt: sub}, nil
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errorf("unexpected token %q in expression", t.Text)
+}

@@ -1,0 +1,30 @@
+package sql
+
+import "testing"
+
+var benchQueries = []string{
+	`select * from part_1 p where p.retailprice*0.75 >
+	 (select sum(l.extendedprice)/sum(l.quantity) from lineitem l where l.partkey = p.partkey)`,
+	`SELECT quantity, COUNT(*), SUM(extendedprice) FROM lineitem
+	 WHERE partkey BETWEEN 10 AND 500 AND extendedprice IS NOT NULL
+	 GROUP BY quantity HAVING COUNT(*) > 5 ORDER BY quantity DESC LIMIT 10`,
+	`SELECT a, b FROM t WHERE NOT (a = 1 OR b < 2.5) AND c <> 'x''y'`,
+}
+
+func BenchmarkLex(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Lex(benchQueries[i%len(benchQueries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchQueries[i%len(benchQueries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

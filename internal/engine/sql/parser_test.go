@@ -1,0 +1,338 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"mqpi/internal/engine/types"
+)
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return st
+}
+
+func mustSelect(t *testing.T, src string) *Select {
+	t.Helper()
+	sel, err := ParseSelect(src)
+	if err != nil {
+		t.Fatalf("ParseSelect(%q): %v", src, err)
+	}
+	return sel
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st := mustParse(t, "CREATE TABLE t (a BIGINT, b DOUBLE, c TEXT, d BOOLEAN)")
+	ct, ok := st.(CreateTable)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if ct.Name != "t" || len(ct.Cols) != 4 {
+		t.Fatalf("%+v", ct)
+	}
+	wantTypes := []types.Kind{types.KindInt, types.KindFloat, types.KindString, types.KindBool}
+	for i, w := range wantTypes {
+		if ct.Cols[i].Type != w {
+			t.Errorf("col %d type = %v, want %v", i, ct.Cols[i].Type, w)
+		}
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	st := mustParse(t, "CREATE INDEX i ON t (a)")
+	ci, ok := st.(CreateIndex)
+	if !ok || ci.Name != "i" || ci.Table != "t" || ci.Column != "a" {
+		t.Fatalf("%T %+v", st, st)
+	}
+}
+
+func TestParseDropTable(t *testing.T) {
+	st := mustParse(t, "DROP TABLE t;")
+	if dt, ok := st.(DropTable); !ok || dt.Name != "t" {
+		t.Fatalf("%T %+v", st, st)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	st := mustParse(t, "INSERT INTO t VALUES (1, 2.5, 'x'), (-3, NULL, 'y')")
+	ins, ok := st.(Insert)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if ins.Table != "t" || len(ins.Rows) != 2 || len(ins.Rows[0]) != 3 {
+		t.Fatalf("%+v", ins)
+	}
+	// Negative literals fold in the parser.
+	lit, ok := ins.Rows[1][0].(Literal)
+	if !ok || lit.Val.Int() != -3 {
+		t.Errorf("negative literal: %v", ins.Rows[1][0])
+	}
+}
+
+func TestParseSelectShape(t *testing.T) {
+	sel := mustSelect(t, `SELECT a, SUM(b) AS total FROM t WHERE a > 1 GROUP BY a HAVING SUM(b) > 10 ORDER BY a DESC LIMIT 5`)
+	if len(sel.Items) != 2 {
+		t.Fatalf("items: %d", len(sel.Items))
+	}
+	if sel.Items[1].Alias != "total" {
+		t.Errorf("alias = %q", sel.Items[1].Alias)
+	}
+	if sel.Where == nil || len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Error("missing clauses")
+	}
+	if len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc {
+		t.Error("order by desc missing")
+	}
+	if sel.Limit == nil || *sel.Limit != 5 {
+		t.Error("limit missing")
+	}
+}
+
+func TestParseTableAliases(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM part_1 p, lineitem AS l")
+	if len(sel.From) != 2 {
+		t.Fatal("two FROM entries expected")
+	}
+	if sel.From[0].Alias != "p" || sel.From[1].Alias != "l" {
+		t.Errorf("aliases: %+v", sel.From)
+	}
+	if !sel.Items[0].Star {
+		t.Error("star expected")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t WHERE a + 2 * 3 = 7 AND NOT a < 0 OR b = 1")
+	// Top level must be OR.
+	or, ok := sel.Where.(Binary)
+	if !ok || or.Op != BinOr {
+		t.Fatalf("top = %v", sel.Where)
+	}
+	and, ok := or.L.(Binary)
+	if !ok || and.Op != BinAnd {
+		t.Fatalf("left of OR = %v", or.L)
+	}
+	eq, ok := and.L.(Binary)
+	if !ok || eq.Op != BinEq {
+		t.Fatalf("left of AND = %v", and.L)
+	}
+	// a + 2*3: addition of a and (2*3).
+	add, ok := eq.L.(Binary)
+	if !ok || add.Op != BinAdd {
+		t.Fatalf("lhs of = : %v", eq.L)
+	}
+	if mul, ok := add.R.(Binary); !ok || mul.Op != BinMul {
+		t.Fatalf("rhs of + : %v", add.R)
+	}
+}
+
+func TestParseParenthesizedSubquery(t *testing.T) {
+	q := `select * from part_1 p where p.retailprice*0.75 >
+	      (select sum(l.extendedprice)/sum(l.quantity) from lineitem l where l.partkey = p.partkey)`
+	sel := mustSelect(t, q)
+	cmp, ok := sel.Where.(Binary)
+	if !ok || cmp.Op != BinGt {
+		t.Fatalf("where = %v", sel.Where)
+	}
+	sub, ok := cmp.R.(Subquery)
+	if !ok {
+		t.Fatalf("rhs = %T", cmp.R)
+	}
+	if len(sub.Stmt.From) != 1 || sub.Stmt.From[0].Alias != "l" {
+		t.Errorf("subquery from: %+v", sub.Stmt.From)
+	}
+	div, ok := sub.Stmt.Items[0].Expr.(Binary)
+	if !ok || div.Op != BinDiv {
+		t.Fatalf("subquery item: %v", sub.Stmt.Items[0].Expr)
+	}
+	if _, ok := div.L.(AggCall); !ok {
+		t.Error("SUM expected")
+	}
+	// Correlated column reference keeps its qualifier.
+	where, ok := sub.Stmt.Where.(Binary)
+	if !ok || where.Op != BinEq {
+		t.Fatal("subquery where")
+	}
+	if ref, ok := where.R.(ColumnRef); !ok || ref.Qualifier != "p" || ref.Name != "partkey" {
+		t.Errorf("correlated ref: %v", where.R)
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t WHERE a BETWEEN 1 AND 5")
+	and, ok := sel.Where.(Binary)
+	if !ok || and.Op != BinAnd {
+		t.Fatalf("BETWEEN should desugar to AND, got %v", sel.Where)
+	}
+	lo, ok1 := and.L.(Binary)
+	hi, ok2 := and.R.(Binary)
+	if !ok1 || !ok2 || lo.Op != BinGe || hi.Op != BinLe {
+		t.Errorf("desugared: %v / %v", and.L, and.R)
+	}
+}
+
+func TestParseIsNull(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t WHERE a IS NULL AND b IS NOT NULL")
+	and := sel.Where.(Binary)
+	l, ok1 := and.L.(IsNull)
+	r, ok2 := and.R.(IsNull)
+	if !ok1 || !ok2 || l.Negate || !r.Negate {
+		t.Errorf("IS NULL parse: %v / %v", and.L, and.R)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	sel := mustSelect(t, "SELECT COUNT(*) FROM t")
+	agg, ok := sel.Items[0].Expr.(AggCall)
+	if !ok || !agg.Star || agg.Func != AggCount {
+		t.Fatalf("COUNT(*): %v", sel.Items[0].Expr)
+	}
+	if _, err := Parse("SELECT SUM(*) FROM t"); err == nil {
+		t.Error("SUM(*) should fail")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC a FROM t",
+		"SELECT FROM t",
+		"SELECT a",                         // missing FROM
+		"SELECT a FROM t WHERE",            // dangling WHERE
+		"SELECT a FROM t GROUP a",          // GROUP without BY
+		"SELECT a FROM t LIMIT x",          // non-numeric limit
+		"INSERT t VALUES (1)",              // missing INTO
+		"CREATE VIEW v",                    // unsupported
+		"SELECT a FROM t; SELECT b FROM t", // trailing input
+		"SELECT (SELECT a FROM t FROM u",   // unbalanced
+		"CREATE TABLE t (a BLOB)",          // unknown type
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseSelectRejectsNonSelect(t *testing.T) {
+	if _, err := ParseSelect("CREATE TABLE t (a BIGINT)"); err == nil {
+		t.Error("ParseSelect on DDL should fail")
+	}
+}
+
+func TestRenderSelectRoundTrip(t *testing.T) {
+	srcs := []string{
+		"SELECT a, b AS c FROM t x WHERE a = 1 GROUP BY a HAVING COUNT(*) > 2 ORDER BY a DESC LIMIT 3",
+		"SELECT * FROM t",
+		"SELECT SUM(a) FROM t WHERE b IS NOT NULL",
+	}
+	for _, src := range srcs {
+		sel := mustSelect(t, src)
+		rendered := sel.String()
+		// The rendered text must itself parse to an identical rendering.
+		again := mustSelect(t, rendered)
+		if again.String() != rendered {
+			t.Errorf("render not stable:\n%s\n%s", rendered, again.String())
+		}
+	}
+}
+
+func TestBinOpString(t *testing.T) {
+	for op, want := range map[BinOp]string{
+		BinAdd: "+", BinSub: "-", BinMul: "*", BinDiv: "/",
+		BinEq: "=", BinNe: "<>", BinLt: "<", BinLe: "<=",
+		BinGt: ">", BinGe: ">=", BinAnd: "AND", BinOr: "OR",
+	} {
+		if op.String() != want {
+			t.Errorf("op %d renders %q", op, op.String())
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t WHERE NOT (p.x = 'it''s') AND a IS NULL")
+	s := sel.Where.String()
+	for _, frag := range []string{"NOT", "p.x", "it''s", "IS NULL"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("rendered %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	st := mustParse(t, "DELETE FROM t WHERE a > 3")
+	del, ok := st.(Delete)
+	if !ok || del.Table != "t" || del.Where == nil {
+		t.Fatalf("%T %+v", st, st)
+	}
+	st = mustParse(t, "DELETE FROM t")
+	if del := st.(Delete); del.Where != nil {
+		t.Errorf("bare delete should have nil Where")
+	}
+	if _, err := Parse("DELETE t"); err == nil {
+		t.Error("DELETE without FROM should fail")
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	st := mustParse(t, "UPDATE t SET a = a + 1, b = 'x' WHERE a < 10")
+	up, ok := st.(Update)
+	if !ok || up.Table != "t" {
+		t.Fatalf("%T %+v", st, st)
+	}
+	if len(up.Sets) != 2 || up.Sets[0].Column != "a" || up.Sets[1].Column != "b" {
+		t.Fatalf("sets: %+v", up.Sets)
+	}
+	if up.Where == nil {
+		t.Error("where missing")
+	}
+	if _, err := Parse("UPDATE t a = 1"); err == nil {
+		t.Error("UPDATE without SET should fail")
+	}
+	if _, err := Parse("UPDATE t SET a"); err == nil {
+		t.Error("SET without = should fail")
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	sel := mustSelect(t, "SELECT DISTINCT a, b FROM t")
+	if !sel.Distinct || len(sel.Items) != 2 {
+		t.Fatalf("%+v", sel)
+	}
+	if !mustSelect(t, "SELECT a FROM t").Distinct == false {
+		t.Error("plain select must not be distinct")
+	}
+	// Render round-trips.
+	if got := sel.String(); !strings.Contains(got, "DISTINCT") {
+		t.Errorf("render: %s", got)
+	}
+}
+
+func TestParseExists(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t WHERE EXISTS (SELECT b FROM u WHERE u.b = t.a)")
+	ex, ok := sel.Where.(Exists)
+	if !ok || ex.Negate {
+		t.Fatalf("where: %T %+v", sel.Where, sel.Where)
+	}
+	sel = mustSelect(t, "SELECT a FROM t WHERE NOT EXISTS (SELECT b FROM u)")
+	ex, ok = sel.Where.(Exists)
+	if !ok || !ex.Negate {
+		t.Fatalf("not exists: %T %+v", sel.Where, sel.Where)
+	}
+	// Double negation cancels.
+	sel = mustSelect(t, "SELECT a FROM t WHERE NOT NOT EXISTS (SELECT b FROM u)")
+	if ex, ok := sel.Where.(Exists); !ok || ex.Negate {
+		t.Fatalf("double negation: %+v", sel.Where)
+	}
+	if _, err := Parse("SELECT a FROM t WHERE EXISTS x"); err == nil {
+		t.Error("EXISTS without ( should fail")
+	}
+	// Render mentions EXISTS.
+	if s := ex.String(); !strings.Contains(s, "EXISTS") {
+		t.Errorf("render: %s", s)
+	}
+}

@@ -1,0 +1,136 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type Kind
+}
+
+// Schema is an ordered list of columns. Column lookup is by (optionally
+// qualified) name; qualifiers come from table aliases in the FROM clause.
+type Schema struct {
+	Cols []Column
+	// Quals[i] is the table qualifier for Cols[i] ("" if unqualified).
+	Quals []string
+}
+
+// NewSchema builds an unqualified schema from columns.
+func NewSchema(cols ...Column) Schema {
+	return Schema{Cols: cols, Quals: make([]string, len(cols))}
+}
+
+// WithQualifier returns a copy of the schema with every column qualified.
+func (s Schema) WithQualifier(q string) Schema {
+	out := Schema{Cols: append([]Column(nil), s.Cols...), Quals: make([]string, len(s.Cols))}
+	for i := range out.Quals {
+		out.Quals[i] = q
+	}
+	return out
+}
+
+// Concat appends another schema's columns, preserving qualifiers.
+func (s Schema) Concat(o Schema) Schema {
+	return Schema{
+		Cols:  append(append([]Column(nil), s.Cols...), o.Cols...),
+		Quals: append(append([]string(nil), s.Quals...), o.Quals...),
+	}
+}
+
+// Len returns the number of columns.
+func (s Schema) Len() int { return len(s.Cols) }
+
+// ColIndex resolves a column reference. If qual is empty the name must be
+// unambiguous across the schema; otherwise both qualifier and name must match.
+func (s Schema) ColIndex(qual, name string) (int, error) {
+	found := -1
+	for i, c := range s.Cols {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if qual != "" && !strings.EqualFold(s.qual(i), qual) {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("types: ambiguous column reference %q", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		if qual != "" {
+			return 0, fmt.Errorf("types: unknown column %s.%s", qual, name)
+		}
+		return 0, fmt.Errorf("types: unknown column %s", name)
+	}
+	return found, nil
+}
+
+func (s Schema) qual(i int) string {
+	if i < len(s.Quals) {
+		return s.Quals[i]
+	}
+	return ""
+}
+
+// String renders the schema as "(a BIGINT, b DOUBLE)".
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if q := s.qual(i); q != "" {
+			b.WriteString(q)
+			b.WriteByte('.')
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Row is a tuple of values positionally matching a schema.
+type Row []Value
+
+// Clone returns a copy of the row; operators that buffer rows must clone
+// because scans reuse backing storage.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Concat returns the concatenation of two rows (used by joins).
+func (r Row) Concat(o Row) Row {
+	out := make(Row, 0, len(r)+len(o))
+	out = append(out, r...)
+	out = append(out, o...)
+	return out
+}
+
+// Key renders the row as a grouping key. Distinct rows map to distinct keys
+// because each value is length-prefixed.
+func (r Row) Key() string {
+	var b strings.Builder
+	for _, v := range r {
+		s := v.String()
+		fmt.Fprintf(&b, "%d:%d:%s;", int(v.Kind()), len(s), s)
+	}
+	return b.String()
+}
+
+// String renders the row for display.
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,108 @@
+package types
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func twoColSchema() Schema {
+	return NewSchema(
+		Column{Name: "a", Type: KindInt},
+		Column{Name: "b", Type: KindFloat},
+	)
+}
+
+func TestColIndex(t *testing.T) {
+	s := twoColSchema()
+	if i, err := s.ColIndex("", "a"); err != nil || i != 0 {
+		t.Errorf("ColIndex(a) = %d, %v", i, err)
+	}
+	if i, err := s.ColIndex("", "B"); err != nil || i != 1 {
+		t.Errorf("ColIndex(B) should be case-insensitive, got %d, %v", i, err)
+	}
+	if _, err := s.ColIndex("", "c"); err == nil {
+		t.Error("unknown column should fail")
+	}
+}
+
+func TestColIndexQualified(t *testing.T) {
+	s := twoColSchema().WithQualifier("t1").Concat(twoColSchema().WithQualifier("t2"))
+	if i, err := s.ColIndex("t2", "a"); err != nil || i != 2 {
+		t.Errorf("ColIndex(t2.a) = %d, %v; want 2", i, err)
+	}
+	if i, err := s.ColIndex("T1", "b"); err != nil || i != 1 {
+		t.Errorf("qualifier matching should be case-insensitive, got %d, %v", i, err)
+	}
+	if _, err := s.ColIndex("", "a"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("unqualified a should be ambiguous, got %v", err)
+	}
+	if _, err := s.ColIndex("t3", "a"); err == nil {
+		t.Error("unknown qualifier should fail")
+	}
+}
+
+func TestSchemaConcatAndString(t *testing.T) {
+	s := twoColSchema().WithQualifier("x")
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	str := s.String()
+	if !strings.Contains(str, "x.a BIGINT") || !strings.Contains(str, "x.b DOUBLE") {
+		t.Errorf("Schema.String() = %q", str)
+	}
+}
+
+func TestRowCloneIndependence(t *testing.T) {
+	r := Row{NewInt(1), NewString("x")}
+	c := r.Clone()
+	c[0] = NewInt(2)
+	if r[0].Int() != 1 {
+		t.Error("Clone must not alias the original")
+	}
+}
+
+func TestRowConcat(t *testing.T) {
+	a := Row{NewInt(1)}
+	b := Row{NewInt(2), NewInt(3)}
+	c := a.Concat(b)
+	if len(c) != 3 || c[0].Int() != 1 || c[2].Int() != 3 {
+		t.Errorf("Concat = %v", c)
+	}
+}
+
+// Property: distinct rows produce distinct grouping keys, even for values
+// whose string forms could collide without length prefixes.
+func TestRowKeyInjective(t *testing.T) {
+	f := func(a, b int64, s1, s2 string) bool {
+		r1 := Row{NewInt(a), NewString(s1)}
+		r2 := Row{NewInt(b), NewString(s2)}
+		same := a == b && s1 == s2
+		return (r1.Key() == r2.Key()) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowKeyTypeSensitive(t *testing.T) {
+	// 1 (int) and "1" (string) must group separately.
+	r1 := Row{NewInt(1)}
+	r2 := Row{NewString("1")}
+	if r1.Key() == r2.Key() {
+		t.Error("keys must distinguish types")
+	}
+	// Adjacent values must not merge: ("ab", "c") vs ("a", "bc").
+	r3 := Row{NewString("ab"), NewString("c")}
+	r4 := Row{NewString("a"), NewString("bc")}
+	if r3.Key() == r4.Key() {
+		t.Error("keys must length-prefix values")
+	}
+}
+
+func TestRowString(t *testing.T) {
+	r := Row{NewInt(1), Null, NewString("x")}
+	if got := r.String(); got != "(1, NULL, x)" {
+		t.Errorf("Row.String() = %q", got)
+	}
+}

@@ -1,0 +1,223 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "NULL",
+		KindBool:   "BOOLEAN",
+		KindInt:    "BIGINT",
+		KindFloat:  "DOUBLE",
+		KindString: "TEXT",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	good := map[string]Kind{
+		"INT": KindInt, "INTEGER": KindInt, "BIGINT": KindInt,
+		"DOUBLE": KindFloat, "FLOAT": KindFloat, "REAL": KindFloat,
+		"TEXT": KindString, "VARCHAR": KindString,
+		"BOOL": KindBool, "BOOLEAN": KindBool,
+	}
+	for name, want := range good {
+		got, err := ParseKind(name)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseKind("BLOB"); err == nil {
+		t.Error("ParseKind(BLOB) should fail")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if v := NewInt(42); v.Int() != 42 || v.Kind() != KindInt || v.IsNull() {
+		t.Errorf("NewInt broken: %v", v)
+	}
+	if v := NewFloat(2.5); v.Float() != 2.5 || v.Kind() != KindFloat {
+		t.Errorf("NewFloat broken: %v", v)
+	}
+	if v := NewString("hi"); v.Str() != "hi" || v.Kind() != KindString {
+		t.Errorf("NewString broken: %v", v)
+	}
+	if v := NewBool(true); !v.Bool() || v.Kind() != KindBool {
+		t.Errorf("NewBool broken: %v", v)
+	}
+	if !Null.IsNull() {
+		t.Error("Null must be null")
+	}
+	// Int values convert to float via Float().
+	if NewInt(3).Float() != 3.0 {
+		t.Error("int should convert to float")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Int on string", func() { NewString("x").Int() })
+	mustPanic("Str on int", func() { NewInt(1).Str() })
+	mustPanic("Bool on int", func() { NewInt(1).Bool() })
+	mustPanic("Float on string", func() { NewString("x").Float() })
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewInt(-7), "-7"},
+		{NewFloat(1.5), "1.5"},
+		{NewString("abc"), "abc"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewFloat(2.5), NewInt(2), 1},
+		{NewFloat(2.0), NewInt(2), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{NewBool(false), NewBool(true), -1},
+		{Null, NewInt(0), -1},
+		{NewInt(0), Null, 1},
+		{Null, Null, 0},
+	}
+	for _, c := range cases {
+		got, err := Compare(c.a, c.b)
+		if err != nil {
+			t.Errorf("Compare(%v, %v) error: %v", c.a, c.b, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if _, err := Compare(NewString("a"), NewInt(1)); err == nil {
+		t.Error("string vs int comparison should fail")
+	}
+	if _, err := Compare(NewBool(true), NewString("x")); err == nil {
+		t.Error("bool vs string comparison should fail")
+	}
+}
+
+// Property: Compare is antisymmetric over ints and floats.
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, err1 := Compare(NewInt(a), NewInt(b))
+		y, err2 := Compare(NewInt(b), NewInt(a))
+		return err1 == nil && err2 == nil && x == -y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		x, err1 := Compare(NewFloat(a), NewFloat(b))
+		y, err2 := Compare(NewFloat(b), NewFloat(a))
+		return err1 == nil && err2 == nil && x == -y
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArith(t *testing.T) {
+	cases := []struct {
+		op   ArithOp
+		a, b Value
+		want Value
+	}{
+		{OpAdd, NewInt(2), NewInt(3), NewInt(5)},
+		{OpSub, NewInt(2), NewInt(3), NewInt(-1)},
+		{OpMul, NewInt(4), NewInt(3), NewInt(12)},
+		{OpDiv, NewInt(6), NewInt(4), NewFloat(1.5)},
+		{OpAdd, NewFloat(1.5), NewInt(1), NewFloat(2.5)},
+		{OpMul, NewFloat(2), NewFloat(3), NewFloat(6)},
+		{OpDiv, NewInt(1), NewInt(0), Null}, // division by zero -> NULL
+		{OpAdd, Null, NewInt(1), Null},      // NULL propagates
+		{OpMul, NewInt(1), Null, Null},
+	}
+	for _, c := range cases {
+		got, err := Arith(c.op, c.a, c.b)
+		if err != nil {
+			t.Errorf("Arith(%v, %v, %v) error: %v", c.op, c.a, c.b, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Arith(%v, %v, %v) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+	if _, err := Arith(OpAdd, NewString("x"), NewInt(1)); err == nil {
+		t.Error("arith on string should fail")
+	}
+}
+
+// Property: int addition and multiplication commute.
+func TestArithCommutative(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, _ := Arith(OpAdd, NewInt(a), NewInt(b))
+		y, _ := Arith(OpAdd, NewInt(b), NewInt(a))
+		return x == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	truthy := []Value{NewBool(true), NewInt(1), NewInt(-3), NewFloat(0.5)}
+	falsy := []Value{Null, NewBool(false), NewInt(0), NewFloat(0), NewFloat(math.NaN()), NewString("x")}
+	for _, v := range truthy {
+		if !v.Truthy() {
+			t.Errorf("%v should be truthy", v)
+		}
+	}
+	for _, v := range falsy {
+		if v.Truthy() {
+			t.Errorf("%v should not be truthy", v)
+		}
+	}
+}
+
+func TestArithOpString(t *testing.T) {
+	ops := map[ArithOp]string{OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/"}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("op %d renders %q, want %q", op, op.String(), want)
+		}
+	}
+}

@@ -1,0 +1,456 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mqpi/internal/core"
+	"mqpi/internal/metrics"
+	"mqpi/internal/sched"
+	"mqpi/internal/wm"
+	"mqpi/internal/workload"
+)
+
+// MaintenanceConfig configures the scheduled-maintenance experiment (§5.3,
+// Figure 11): a steady-state mix of n queries (a query finishing triggers a
+// fresh Zipf-sized submission), inspected at a random time rt to plan
+// maintenance scheduled t seconds later. Case 2 lost work (total cost of
+// aborted queries) is reported, as in the paper.
+type MaintenanceConfig struct {
+	Seed           int64
+	Runs           int     // default 10 (as in the paper)
+	NumQueries     int     // steady-state multiprogramming level; default 10
+	ZipfA          float64 // submission size distribution; default 2.2
+	MaxN           int     // default 20
+	RateC          float64 // default 32 U/s
+	Quantum        float64 // default 1 s
+	WarmupFinishes int     // completions before rt; default 25
+	// TFracs are the t/tfinish points of Figure 11's x axis.
+	TFracs []float64
+	// Case1 switches the lost-work definition to §3.3's Case 1 (completed
+	// work of aborted queries); the default is the paper's Figure 11 choice,
+	// Case 2 (total cost of aborted queries).
+	Case1 bool
+	Data  workload.DataConfig
+}
+
+func (c MaintenanceConfig) withDefaults() MaintenanceConfig {
+	if c.Runs <= 0 {
+		c.Runs = 10
+	}
+	if c.NumQueries <= 0 {
+		c.NumQueries = 10
+	}
+	if c.ZipfA <= 0 {
+		c.ZipfA = 2.2
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 20
+	}
+	if c.RateC <= 0 {
+		c.RateC = 32
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 1
+	}
+	if c.WarmupFinishes <= 0 {
+		c.WarmupFinishes = 25
+	}
+	if len(c.TFracs) == 0 {
+		c.TFracs = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	}
+	if c.Data.Seed == 0 {
+		c.Data.Seed = c.Seed
+	}
+	return c
+}
+
+// maintSnapshot captures one query's state at the inspection time rt.
+type maintSnapshot struct {
+	id        int
+	doneWork  float64 // e_i: exact completed work at rt
+	estRemain float64 // refined PI estimate of c_i
+	speed     float64 // observed execution speed at rt (for the single PI)
+	trueCost  float64 // e_i + true remaining work (known post hoc)
+	trueRem   float64 // true remaining work at rt
+}
+
+// MaintenanceResult holds Figure 11 plus headline aggregates.
+type MaintenanceResult struct {
+	// Fig11: unfinished work UW/TW vs t/tfinish for the four methods.
+	Fig11 metrics.Figure
+	// SingleAtTFinish is the single-PI method's UW/TW at t = tfinish
+	// (the paper reports 67%: it aborts large queries unnecessarily).
+	SingleAtTFinish float64
+	// MultiVsNoPI and MultiVsSingle are the average reductions of unfinished
+	// work achieved by the multi-PI method over the other two for t<tfinish
+	// (positive = multi is better).
+	MultiVsNoPI   float64
+	MultiVsSingle float64
+	// MultiVsLimit is the multi-PI method's average excess over the
+	// theoretical limit for t<tfinish.
+	MultiVsLimit float64
+}
+
+// RunMaintenance reproduces Figure 11. For each run it simulates the warm
+// steady state once, snapshots the n running queries at rt, drains the
+// system to learn the true costs, and then evaluates every method at every
+// t analytically (weighted fair sharing with equal priorities is
+// work-conserving, so post-rt finish times follow the stage model exactly).
+func RunMaintenance(cfg MaintenanceConfig) (*MaintenanceResult, error) {
+	cfg = cfg.withDefaults()
+	ds, err := workload.BuildDataset(cfg.Data)
+	if err != nil {
+		return nil, err
+	}
+	zipf, err := workload.NewZipf(cfg.ZipfA, cfg.MaxN)
+	if err != nil {
+		return nil, err
+	}
+
+	mode := wm.Case2TotalCost
+	caseName := "Case 2"
+	if cfg.Case1 {
+		mode = wm.Case1CompletedWork
+		caseName = "Case 1"
+	}
+
+	type methodKey int
+	const (
+		mNoPI methodKey = iota
+		mSingle
+		mMulti
+		mLimit
+	)
+	sums := map[methodKey][]float64{
+		mNoPI:   make([]float64, len(cfg.TFracs)),
+		mSingle: make([]float64, len(cfg.TFracs)),
+		mMulti:  make([]float64, len(cfg.TFracs)),
+		mLimit:  make([]float64, len(cfg.TFracs)),
+	}
+
+	for r := 0; r < cfg.Runs; r++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + 904537 + int64(r)*7919))
+		snaps, err := runMaintenanceOnce(ds, cfg, zipf, rng)
+		if err != nil {
+			return nil, err
+		}
+		// tfinish: system quiescent time under no interruption = total true
+		// remaining work / C (work-conserving).
+		totalRem := 0.0
+		tw := 0.0
+		for _, s := range snaps {
+			totalRem += s.trueRem
+			tw += s.trueCost
+		}
+		tfinish := totalRem / cfg.RateC
+		if tfinish <= 0 || tw <= 0 {
+			return nil, fmt.Errorf("experiments: degenerate maintenance run (tfinish=%g, tw=%g)", tfinish, tw)
+		}
+		for ti, frac := range cfg.TFracs {
+			t := frac * tfinish
+			sums[mNoPI][ti] += evalNoPI(snaps, cfg.RateC, t, mode) / tw
+			sums[mSingle][ti] += evalSinglePI(snaps, cfg.RateC, t, mode) / tw
+			uwMulti, err := evalMultiPI(snaps, cfg.RateC, t, mode)
+			if err != nil {
+				return nil, err
+			}
+			sums[mMulti][ti] += uwMulti / tw
+			uwLimit, err := evalLimit(snaps, cfg.RateC, t, mode)
+			if err != nil {
+				return nil, err
+			}
+			sums[mLimit][ti] += uwLimit / tw
+		}
+	}
+
+	res := &MaintenanceResult{
+		Fig11: metrics.Figure{
+			Title:  fmt.Sprintf("Figure 11: unfinished work of the three methods vs theoretical limit (%s)", caseName),
+			XLabel: "t / tfinish",
+			YLabel: "UW / TW",
+		},
+	}
+	noPI := res.Fig11.AddSeries("no PI method")
+	single := res.Fig11.AddSeries("single-query PI method")
+	multi := res.Fig11.AddSeries("multi-query PI method")
+	limit := res.Fig11.AddSeries("theoretical limitation")
+	runs := float64(cfg.Runs)
+	var dNo, dSingle, dLimit []float64
+	for ti, frac := range cfg.TFracs {
+		vNo := sums[mNoPI][ti] / runs
+		vSingle := sums[mSingle][ti] / runs
+		vMulti := sums[mMulti][ti] / runs
+		vLimit := sums[mLimit][ti] / runs
+		noPI.Add(frac, vNo)
+		single.Add(frac, vSingle)
+		multi.Add(frac, vMulti)
+		limit.Add(frac, vLimit)
+		if frac >= 0.999 {
+			res.SingleAtTFinish = vSingle
+		}
+		if frac < 0.999 {
+			dNo = append(dNo, vNo-vMulti)
+			dSingle = append(dSingle, vSingle-vMulti)
+			dLimit = append(dLimit, vMulti-vLimit)
+		}
+	}
+	res.MultiVsNoPI = metrics.Mean(dNo)
+	res.MultiVsSingle = metrics.Mean(dSingle)
+	res.MultiVsLimit = metrics.Mean(dLimit)
+	return res, nil
+}
+
+// runMaintenanceOnce simulates the steady state for one run and returns the
+// snapshots of the queries running at rt, with true costs filled in from the
+// post-rt drain.
+func runMaintenanceOnce(ds *workload.Dataset, cfg MaintenanceConfig, zipf *workload.Zipf, rng *rand.Rand) ([]maintSnapshot, error) {
+	srv := sched.New(sched.Config{RateC: cfg.RateC, Quantum: cfg.Quantum})
+	// Distinct table-index space per run so datasets can be reused.
+	nextIdx := 1
+	var created []int
+	defer func() {
+		for _, idx := range created {
+			_ = ds.DropPartTable(idx)
+		}
+	}()
+	newQuery := func() (*sched.Query, error) {
+		q, err := buildPartQuery(ds, srv, nextIdx, zipf.Sample(rng), 0)
+		if err != nil {
+			return nil, err
+		}
+		created = append(created, nextIdx)
+		nextIdx++
+		return q, nil
+	}
+
+	finishes := 0
+	replacing := true
+	var submitErr error
+	srv.OnFinish(func(f *sched.Query) {
+		finishes++
+		if !replacing || submitErr != nil {
+			return
+		}
+		q, err := newQuery()
+		if err != nil {
+			submitErr = err
+			return
+		}
+		srv.Submit(q)
+	})
+	for i := 0; i < cfg.NumQueries; i++ {
+		q, err := newQuery()
+		if err != nil {
+			return nil, err
+		}
+		// Start the initial mix at random points so early steady state is
+		// less biased toward synchronized finishes.
+		if err := prework(q, rng, 0.9); err != nil {
+			return nil, err
+		}
+		srv.Submit(q)
+	}
+	// Warm up: run until enough completions have churned the mix, plus a
+	// small random extension so rt is not aligned with a completion.
+	for finishes < cfg.WarmupFinishes && srv.Busy() {
+		srv.Tick()
+		if submitErr != nil {
+			return nil, submitErr
+		}
+	}
+	extra := rng.Intn(20)
+	for i := 0; i < extra && srv.Busy(); i++ {
+		srv.Tick()
+		if submitErr != nil {
+			return nil, submitErr
+		}
+	}
+
+	// Time rt: stop admissions (operation O1) and snapshot.
+	replacing = false
+	running := srv.Running()
+	if len(running) == 0 {
+		return nil, fmt.Errorf("experiments: no queries running at rt")
+	}
+	snaps := make([]maintSnapshot, 0, len(running))
+	workAtRt := make(map[int]float64, len(running))
+	for _, q := range running {
+		speed := q.ObservedSpeed()
+		if speed <= 0 {
+			speed = fairShare(srv, q)
+		}
+		snaps = append(snaps, maintSnapshot{
+			id:        q.ID,
+			doneWork:  q.Runner.WorkDone(),
+			estRemain: q.Runner.EstRemaining(),
+			speed:     speed,
+		})
+		workAtRt[q.ID] = q.Runner.WorkDone()
+	}
+
+	// Drain to completion to learn true remaining costs.
+	for srv.Busy() {
+		srv.Tick()
+	}
+	for i := range snaps {
+		q, ok := srv.Lookup(snaps[i].id)
+		if !ok {
+			return nil, fmt.Errorf("experiments: query %d vanished during drain", snaps[i].id)
+		}
+		if q.Status == sched.StatusFailed {
+			return nil, fmt.Errorf("experiments: query %s failed: %w", q.Label, q.Err)
+		}
+		snaps[i].trueRem = q.Runner.WorkDone() - workAtRt[q.ID]
+		snaps[i].trueCost = q.Runner.WorkDone()
+	}
+	return snaps, nil
+}
+
+// lostAtAbort returns the mode-dependent lost work of aborting a query that
+// has completed `done` work in total (Case 1: the completed work is wasted;
+// Case 2: the whole cost must be redone).
+func lostAtAbort(s maintSnapshot, doneSinceRt float64, mode wm.LostWorkMode) float64 {
+	if mode == wm.Case1CompletedWork {
+		return s.doneWork + doneSinceRt
+	}
+	return s.trueCost
+}
+
+// workDoneBy computes, for equal-weight fair sharing over the kept queries'
+// true remaining costs, how much work each query completes within the first
+// t seconds (stage-by-stage, the §2.2 schedule).
+func workDoneBy(kept []maintSnapshot, C, t float64) map[int]float64 {
+	type qs struct {
+		id  int
+		rem float64
+	}
+	active := make([]qs, 0, len(kept))
+	done := make(map[int]float64, len(kept))
+	for _, s := range kept {
+		active = append(active, qs{id: s.id, rem: s.trueRem})
+		done[s.id] = 0
+	}
+	// Process stages in ascending remaining order.
+	for now := 0.0; now < t && len(active) > 0; {
+		minRem := active[0].rem
+		for _, q := range active {
+			if q.rem < minRem {
+				minRem = q.rem
+			}
+		}
+		share := C / float64(len(active))
+		stage := minRem / share // time until the smallest query finishes
+		dt := stage
+		if now+dt > t {
+			dt = t - now
+		}
+		kept2 := active[:0]
+		for _, q := range active {
+			amount := share * dt
+			if amount > q.rem {
+				amount = q.rem
+			}
+			done[q.id] += amount
+			q.rem -= amount
+			if q.rem > 1e-9 {
+				kept2 = append(kept2, q)
+			}
+		}
+		active = kept2
+		now += dt
+	}
+	return done
+}
+
+// keptUnfinished returns the lost work of queries kept at rt but still
+// unfinished at deadline t: under equal-weight fair sharing their finish
+// times follow the stage model over the true remaining costs.
+func keptUnfinished(kept []maintSnapshot, C, t float64, mode wm.LostWorkMode) float64 {
+	states := make([]core.QueryState, len(kept))
+	for i, s := range kept {
+		states[i] = core.QueryState{ID: s.id, Remaining: s.trueRem, Weight: 1, Done: s.doneWork}
+	}
+	prof := core.ComputeProfile(states, C)
+	var doneBy map[int]float64
+	if mode == wm.Case1CompletedWork {
+		doneBy = workDoneBy(kept, C, t)
+	}
+	lost := 0.0
+	for _, s := range kept {
+		if prof.Finish[s.id] > t+1e-9 {
+			lost += lostAtAbort(s, doneBy[s.id], mode)
+		}
+	}
+	return lost
+}
+
+// evalNoPI: operations O1+O2 — nobody is aborted at rt; whatever has not
+// finished by rt+t is aborted then.
+func evalNoPI(snaps []maintSnapshot, C, t float64, mode wm.LostWorkMode) float64 {
+	return keptUnfinished(snaps, C, t, mode)
+}
+
+// evalSinglePI: abort at rt every query whose single-query estimate c/s
+// exceeds t (the single-query PI assumes current speeds persist and cannot
+// anticipate the post-abort speed-up), then abort late finishers at rt+t.
+func evalSinglePI(snaps []maintSnapshot, C, t float64, mode wm.LostWorkMode) float64 {
+	lost := 0.0
+	var kept []maintSnapshot
+	for _, s := range snaps {
+		est := core.SingleQueryRemainingTime(s.estRemain, s.speed)
+		if est > t+1e-9 {
+			lost += lostAtAbort(s, 0, mode)
+			continue
+		}
+		kept = append(kept, s)
+	}
+	return lost + keptUnfinished(kept, C, t, mode)
+}
+
+// evalMultiPI: the §3.3 greedy knapsack over the PI's estimated remaining
+// costs, then abort late finishers at rt+t.
+func evalMultiPI(snaps []maintSnapshot, C, t float64, mode wm.LostWorkMode) (float64, error) {
+	states := make([]core.QueryState, len(snaps))
+	for i, s := range snaps {
+		states[i] = core.QueryState{ID: s.id, Remaining: s.estRemain, Weight: 1, Done: s.doneWork}
+	}
+	plan, err := wm.PlanMaintenance(states, C, t, mode)
+	if err != nil {
+		return 0, err
+	}
+	return evalAbortSet(snaps, plan.Abort, C, t, mode), nil
+}
+
+// evalLimit: the theoretical limitation — the exact optimal abort set
+// computed from the true run-to-completion costs.
+func evalLimit(snaps []maintSnapshot, C, t float64, mode wm.LostWorkMode) (float64, error) {
+	states := make([]core.QueryState, len(snaps))
+	for i, s := range snaps {
+		states[i] = core.QueryState{ID: s.id, Remaining: s.trueRem, Weight: 1, Done: s.doneWork}
+	}
+	plan, err := wm.PlanMaintenanceExact(states, C, t, mode)
+	if err != nil {
+		return 0, err
+	}
+	return evalAbortSet(snaps, plan.Abort, C, t, mode), nil
+}
+
+// evalAbortSet charges the lost work of queries aborted at rt plus that of
+// kept queries that still miss the deadline.
+func evalAbortSet(snaps []maintSnapshot, abort []int, C, t float64, mode wm.LostWorkMode) float64 {
+	abortSet := make(map[int]bool, len(abort))
+	for _, id := range abort {
+		abortSet[id] = true
+	}
+	lost := 0.0
+	var kept []maintSnapshot
+	for _, s := range snaps {
+		if abortSet[s.id] {
+			lost += lostAtAbort(s, 0, mode)
+			continue
+		}
+		kept = append(kept, s)
+	}
+	return lost + keptUnfinished(kept, C, t, mode)
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mqpi/internal/metrics"
+	"mqpi/internal/sched"
+	"mqpi/internal/workload"
+)
+
+// MCQConfig configures the Multiple Concurrent Query experiment (§5.2.1,
+// Figures 3 and 4): ten queries with Zipf(a=1.2) sizes, each starting at a
+// random point of its execution, no further arrivals.
+type MCQConfig struct {
+	Seed        int64
+	NumQueries  int     // default 10
+	ZipfA       float64 // default 1.2
+	MaxN        int     // default 150
+	RateC       float64 // default 200 U/s
+	Quantum     float64 // default 0.5 s
+	SampleEvery float64 // default 5 s
+	// Templates are assigned round-robin to the queries (default: the
+	// paper's published Q_i only). Mixing templates reproduces the paper's
+	// "we repeated our experiments with other kinds of queries" check.
+	Templates []workload.QueryTemplate
+	Data      workload.DataConfig
+}
+
+func (c MCQConfig) withDefaults() MCQConfig {
+	if c.NumQueries <= 0 {
+		c.NumQueries = 10
+	}
+	if c.ZipfA <= 0 {
+		c.ZipfA = 1.2
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 150
+	}
+	if c.RateC <= 0 {
+		c.RateC = 200
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 0.5
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 5
+	}
+	if c.Data.Seed == 0 {
+		c.Data.Seed = c.Seed
+	}
+	return c
+}
+
+// MCQResult holds the reproduced Figures 3 and 4 plus headline numbers.
+type MCQResult struct {
+	FocusLabel string
+	FocusID    int
+	// Fig3: remaining execution time for the focus query over time —
+	// actual, single-query estimate, multi-query estimate.
+	Fig3 metrics.Figure
+	// Fig4: the focus query's observed execution speed over time.
+	Fig4 metrics.Figure
+	// FinishTime is the focus query's actual finish time (s).
+	FinishTime float64
+	// SpeedRatio is final/initial observed speed (the paper sees ~5×).
+	SpeedRatio float64
+	// ErrStartSingle and ErrStartMulti are the relative errors of the two
+	// estimators at time 0 (the paper's single-query PI is ~3× off).
+	ErrStartSingle float64
+	ErrStartMulti  float64
+}
+
+// RunMCQ executes the MCQ experiment once.
+func RunMCQ(cfg MCQConfig) (*MCQResult, error) {
+	cfg = cfg.withDefaults()
+	ds, err := workload.BuildDataset(cfg.Data)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D))
+	zipf, err := workload.NewZipf(cfg.ZipfA, cfg.MaxN)
+	if err != nil {
+		return nil, err
+	}
+	srv := sched.New(sched.Config{RateC: cfg.RateC, Quantum: cfg.Quantum})
+
+	templates := cfg.Templates
+	if len(templates) == 0 {
+		templates = []workload.QueryTemplate{workload.TemplateRetail}
+	}
+	queries := make([]*sched.Query, 0, cfg.NumQueries)
+	for i := 1; i <= cfg.NumQueries; i++ {
+		q, err := buildPartQueryTmpl(ds, srv, i, zipf.Sample(rng), 0, templates[(i-1)%len(templates)])
+		if err != nil {
+			return nil, err
+		}
+		if err := prework(q, rng, 0.9); err != nil {
+			return nil, err
+		}
+		queries = append(queries, q)
+	}
+	// Focus on the query with the largest remaining cost at time 0 (the
+	// paper's "typical large query Q").
+	var focus *sched.Query
+	for _, q := range queries {
+		if focus == nil || q.Runner.EstRemaining() > focus.Runner.EstRemaining() {
+			focus = q
+		}
+	}
+	for _, q := range queries {
+		srv.Submit(q)
+	}
+
+	res := &MCQResult{
+		FocusLabel: focus.Label,
+		FocusID:    focus.ID,
+		Fig3: metrics.Figure{
+			Title:  "Figure 3: remaining query execution time estimated over time for Q (MCQ)",
+			XLabel: "time (s)",
+			YLabel: "estimated remaining query execution time (s)",
+		},
+		Fig4: metrics.Figure{
+			Title:  "Figure 4: query execution speed monitored over time for Q (MCQ)",
+			XLabel: "time (s)",
+			YLabel: "query execution speed (U/s)",
+		},
+	}
+	actual := res.Fig3.AddSeries("actual")
+	single := res.Fig3.AddSeries("single-query estimate")
+	multi := res.Fig3.AddSeries("multi-query estimate")
+	speed := res.Fig4.AddSeries("speed")
+
+	type sampleRec struct{ t, single, multi, speed float64 }
+	var samples []sampleRec
+	runSampled(srv, cfg.SampleEvery, func() {
+		if focus.Status == sched.StatusFinished || focus.Status == sched.StatusFailed {
+			return
+		}
+		sp := focus.ObservedSpeed()
+		if sp <= 0 {
+			sp = fairShare(srv, focus)
+		}
+		samples = append(samples, sampleRec{
+			t:      srv.Now(),
+			single: singleEstimate(srv, focus),
+			multi:  multiEstimates(srv)[focus.ID],
+			speed:  sp,
+		})
+	}, func() bool {
+		return focus.Status == sched.StatusFinished || focus.Status == sched.StatusFailed
+	})
+	if focus.Status == sched.StatusFailed {
+		return nil, fmt.Errorf("experiments: focus query failed: %w", focus.Err)
+	}
+	res.FinishTime = focus.FinishTime
+
+	for _, s := range samples {
+		actual.Add(s.t, res.FinishTime-s.t)
+		single.Add(s.t, s.single)
+		multi.Add(s.t, s.multi)
+		speed.Add(s.t, s.speed)
+	}
+	if len(samples) > 0 {
+		first, last := samples[0], samples[len(samples)-1]
+		if first.speed > 0 {
+			res.SpeedRatio = last.speed / first.speed
+		}
+		res.ErrStartSingle = metrics.RelErr(first.single, res.FinishTime-first.t)
+		res.ErrStartMulti = metrics.RelErr(first.multi, res.FinishTime-first.t)
+	}
+	return res, nil
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mqpi/internal/core"
+	"mqpi/internal/metrics"
+	"mqpi/internal/sched"
+	"mqpi/internal/workload"
+)
+
+// PriorityConfig configures the weighted-priorities extension experiment.
+// The paper's Assumption 3 (speed proportional to priority weight) could not
+// be evaluated in its PostgreSQL prototype ("PostgreSQL does not support
+// priorities for queries"); this substrate implements the weight table
+// directly, so the weighted stage model can be validated end-to-end.
+type PriorityConfig struct {
+	Seed        int64
+	PerClass    int     // queries per priority class; default 4
+	LowWeight   float64 // default 1
+	HighWeight  float64 // default 3
+	MaxN        int     // default 40
+	ZipfA       float64 // default 1.2
+	RateC       float64 // default 150
+	Quantum     float64 // default 0.5
+	SampleEvery float64 // default 5
+	Data        workload.DataConfig
+}
+
+func (c PriorityConfig) withDefaults() PriorityConfig {
+	if c.PerClass <= 0 {
+		c.PerClass = 4
+	}
+	if c.LowWeight <= 0 {
+		c.LowWeight = 1
+	}
+	if c.HighWeight <= 0 {
+		c.HighWeight = 3
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 40
+	}
+	if c.ZipfA <= 0 {
+		c.ZipfA = 1.2
+	}
+	if c.RateC <= 0 {
+		c.RateC = 150
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 0.5
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 5
+	}
+	if c.Data.Seed == 0 {
+		c.Data.Seed = c.Seed
+	}
+	return c
+}
+
+// PriorityResult summarizes the weighted-priorities experiment.
+type PriorityResult struct {
+	// SpeedRatio is the measured high/low execution-speed ratio for two
+	// same-sized probe queries (Assumption 3 predicts HighWeight/LowWeight).
+	SpeedRatio float64
+	// ErrT0Single and ErrT0Multi are mean relative errors of the time-0
+	// remaining-time estimates across all queries.
+	ErrT0Single float64
+	ErrT0Multi  float64
+	// Fig: per-query time-0 estimates vs actual (x = query ID).
+	Fig metrics.Figure
+}
+
+// RunPriority runs a mixed-priority workload: PerClass queries at low
+// priority and PerClass at high priority, plus one same-sized probe pair to
+// measure the speed ratio. It reports how well the weighted stage model
+// predicts remaining times compared with the single-query PI.
+func RunPriority(cfg PriorityConfig) (*PriorityResult, error) {
+	cfg = cfg.withDefaults()
+	ds, err := workload.BuildDataset(cfg.Data)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x9E3779B9))
+	zipf, err := workload.NewZipf(cfg.ZipfA, cfg.MaxN)
+	if err != nil {
+		return nil, err
+	}
+	const (
+		lowPri  = 1
+		highPri = 2
+	)
+	srv := sched.New(sched.Config{
+		RateC:   cfg.RateC,
+		Quantum: cfg.Quantum,
+		Weights: map[int]float64{lowPri: cfg.LowWeight, highPri: cfg.HighWeight},
+	})
+
+	var queries []*sched.Query
+	idx := 1
+	addQuery := func(n, pri int, preworkFrac float64) (*sched.Query, error) {
+		q, err := buildPartQuery(ds, srv, idx, n, pri)
+		if err != nil {
+			return nil, err
+		}
+		idx++
+		if preworkFrac > 0 {
+			if _, _, err := q.Runner.Step(preworkFrac * q.Runner.Plan().EstCost()); err != nil {
+				return nil, err
+			}
+		}
+		queries = append(queries, q)
+		return q, nil
+	}
+	for i := 0; i < cfg.PerClass; i++ {
+		if _, err := addQuery(zipf.Sample(rng), lowPri, rng.Float64()*0.8); err != nil {
+			return nil, err
+		}
+		if _, err := addQuery(zipf.Sample(rng), highPri, rng.Float64()*0.8); err != nil {
+			return nil, err
+		}
+	}
+	// The probe pair: identical size, no prework, different priority.
+	probeN := cfg.MaxN / 2
+	probeLow, err := addQuery(probeN, lowPri, 0)
+	if err != nil {
+		return nil, err
+	}
+	probeHigh, err := addQuery(probeN, highPri, 0)
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range queries {
+		srv.Submit(q)
+	}
+
+	// Time-0 estimates.
+	states := srv.StateRunning()
+	multi := core.MultiQueryRemainingTimes(states, cfg.RateC)
+	single := make(map[int]float64, len(queries))
+	for _, q := range queries {
+		single[q.ID] = singleEstimate(srv, q)
+	}
+
+	// Measure the probes' speeds over an early window, while both classes
+	// are saturated; cumulative work over elapsed time avoids the speed
+	// tracker's window quantization.
+	measure := 120 * cfg.Quantum
+	srv.RunUntil(measure)
+	speedLow := probeLow.Runner.WorkDone() / srv.Now()
+	speedHigh := probeHigh.Runner.WorkDone() / srv.Now()
+	srv.RunUntilIdle(1e9)
+
+	res := &PriorityResult{
+		Fig: metrics.Figure{
+			Title:  "Extension: weighted priorities — time-0 estimates vs actual",
+			XLabel: "query id",
+			YLabel: "remaining time (s)",
+		},
+	}
+	if speedLow > 0 {
+		res.SpeedRatio = speedHigh / speedLow
+	}
+	actualS := res.Fig.AddSeries("actual")
+	singleS := res.Fig.AddSeries("single-query estimate")
+	multiS := res.Fig.AddSeries("multi-query estimate")
+	var errS, errM []float64
+	for _, q := range queries {
+		if q.Status == sched.StatusFailed {
+			return nil, fmt.Errorf("experiments: query %s failed: %w", q.Label, q.Err)
+		}
+		actual := q.FinishTime
+		actualS.Add(float64(q.ID), actual)
+		singleS.Add(float64(q.ID), single[q.ID])
+		multiS.Add(float64(q.ID), multi[q.ID])
+		errS = append(errS, metrics.RelErr(single[q.ID], actual))
+		errM = append(errM, metrics.RelErr(multi[q.ID], actual))
+	}
+	res.ErrT0Single = metrics.Mean(errS)
+	res.ErrT0Multi = metrics.Mean(errM)
+	return res, nil
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mqpi/internal/metrics"
+	"mqpi/internal/sched"
+	"mqpi/internal/workload"
+)
+
+// RobustnessConfig configures the Assumption 1 violation experiment (§4.1).
+// The real server's total rate varies with the number of runnable queries —
+// Contention > 0 models thrashing (more queries, less total throughput),
+// Contention < 0 models under-utilization at low concurrency — while both
+// PIs keep assuming the constant nominal rate C. The paper argues the
+// multi-query PI "is still likely to be superior" when the assumption
+// breaks; this experiment measures it.
+type RobustnessConfig struct {
+	Seed       int64
+	Runs       int     // default 8
+	NumQueries int     // default 10
+	MaxN       int     // default 40
+	ZipfA      float64 // default 1.2
+	RateC      float64 // nominal C; default 150
+	Quantum    float64 // default 0.5
+	// Contention is the per-extra-query throughput penalty: with n runnable
+	// queries the actual rate is C × (1 − Contention × (n−1)/n). Default 0.3
+	// (30% total slowdown at high concurrency).
+	Contention float64
+	Data       workload.DataConfig
+}
+
+func (c RobustnessConfig) withDefaults() RobustnessConfig {
+	if c.Runs <= 0 {
+		c.Runs = 8
+	}
+	if c.NumQueries <= 0 {
+		c.NumQueries = 10
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 40
+	}
+	if c.ZipfA <= 0 {
+		c.ZipfA = 1.2
+	}
+	if c.RateC <= 0 {
+		c.RateC = 150
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 0.5
+	}
+	if c.Contention == 0 {
+		c.Contention = 0.3
+	}
+	if c.Data.Seed == 0 {
+		c.Data.Seed = c.Seed
+	}
+	return c
+}
+
+// RobustnessResult reports mean time-0 estimate errors under the violated
+// assumption.
+type RobustnessResult struct {
+	ErrSingle float64
+	ErrMulti  float64
+	// Fig compares the two estimators' mean error across runs (x = run).
+	Fig metrics.Figure
+}
+
+// RunRobustness measures both PIs' time-0 estimate errors over Runs
+// workloads executed on a server whose true rate deviates from the assumed
+// constant C.
+func RunRobustness(cfg RobustnessConfig) (*RobustnessResult, error) {
+	cfg = cfg.withDefaults()
+	ds, err := workload.BuildDataset(cfg.Data)
+	if err != nil {
+		return nil, err
+	}
+	zipf, err := workload.NewZipf(cfg.ZipfA, cfg.MaxN)
+	if err != nil {
+		return nil, err
+	}
+	res := &RobustnessResult{
+		Fig: metrics.Figure{
+			Title:  fmt.Sprintf("Extension: Assumption 1 violated (contention=%.2f) — mean time-0 error per run", cfg.Contention),
+			XLabel: "run",
+			YLabel: "relative error (fraction)",
+		},
+	}
+	singleSeries := res.Fig.AddSeries("single-query estimate")
+	multiSeries := res.Fig.AddSeries("multi-query estimate")
+	var allS, allM []float64
+
+	for r := 0; r < cfg.Runs; r++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + 31337 + int64(r)*104729))
+		rateFunc := func(runnable int) float64 {
+			if runnable < 1 {
+				runnable = 1
+			}
+			return cfg.RateC * (1 - cfg.Contention*float64(runnable-1)/float64(runnable))
+		}
+		srv := sched.New(sched.Config{RateC: cfg.RateC, RateFunc: rateFunc, Quantum: cfg.Quantum})
+		var queries []*sched.Query
+		for i := 1; i <= cfg.NumQueries; i++ {
+			q, err := buildPartQuery(ds, srv, i, zipf.Sample(rng), 0)
+			if err != nil {
+				return nil, err
+			}
+			if err := prework(q, rng, 0.9); err != nil {
+				return nil, err
+			}
+			queries = append(queries, q)
+			srv.Submit(q)
+		}
+		single := make(map[int]float64, len(queries))
+		for _, q := range queries {
+			single[q.ID] = singleEstimate(srv, q)
+		}
+		multi := multiEstimates(srv)
+		srv.RunUntilIdle(1e9)
+
+		var sErrs, mErrs []float64
+		for _, q := range queries {
+			if q.Status == sched.StatusFailed {
+				return nil, fmt.Errorf("experiments: query %s failed: %w", q.Label, q.Err)
+			}
+			sErrs = append(sErrs, metrics.RelErr(single[q.ID], q.FinishTime))
+			mErrs = append(mErrs, metrics.RelErr(multi[q.ID], q.FinishTime))
+		}
+		ms, mm := metrics.Mean(sErrs), metrics.Mean(mErrs)
+		singleSeries.Add(float64(r+1), ms)
+		multiSeries.Add(float64(r+1), mm)
+		allS = append(allS, ms)
+		allM = append(allM, mm)
+	}
+	res.ErrSingle = metrics.Mean(allS)
+	res.ErrMulti = metrics.Mean(allM)
+	return res, nil
+}

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mqpi/internal/metrics"
+	"mqpi/internal/sched"
+	"mqpi/internal/wm"
+	"mqpi/internal/workload"
+)
+
+// SpeedupConfig configures the §3.1 policy-comparison experiment. The paper
+// reports that its workload-management experiments behaved like the
+// maintenance one and shows only Figure 11; this experiment fills that gap:
+// it compares the multi-query PI's victim choice against the heuristics the
+// paper's introduction argues against.
+type SpeedupConfig struct {
+	Seed       int64
+	Runs       int     // default 10
+	NumQueries int     // default 8
+	MaxN       int     // default 25
+	ZipfA      float64 // default 1.2
+	RateC      float64 // default 80
+	Quantum    float64 // default 0.5
+	Data       workload.DataConfig
+}
+
+func (c SpeedupConfig) withDefaults() SpeedupConfig {
+	if c.Runs <= 0 {
+		c.Runs = 10
+	}
+	if c.NumQueries <= 0 {
+		c.NumQueries = 8
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 25
+	}
+	if c.ZipfA <= 0 {
+		c.ZipfA = 1.2
+	}
+	if c.RateC <= 0 {
+		c.RateC = 80
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 0.5
+	}
+	if c.Data.Seed == 0 {
+		c.Data.Seed = c.Seed
+	}
+	return c
+}
+
+// SpeedupPolicy names a victim-selection policy.
+type SpeedupPolicy string
+
+const (
+	// PolicyMultiPI picks the victim via the §3.1 algorithm over PI states.
+	PolicyMultiPI SpeedupPolicy = "multi-query PI (§3.1)"
+	// PolicyHeaviestConsumer picks the query that has consumed the most
+	// work so far — "a common approach is to choose the victim query to be
+	// the heaviest resource consumer", which the paper argues can backfire
+	// when that query is about to finish.
+	PolicyHeaviestConsumer SpeedupPolicy = "heaviest consumer"
+	// PolicyRandom blocks a uniformly random non-target query.
+	PolicyRandom SpeedupPolicy = "random victim"
+	// PolicyNone is the no-intervention baseline.
+	PolicyNone SpeedupPolicy = "no intervention"
+)
+
+// SpeedupResult summarizes the policy comparison.
+type SpeedupResult struct {
+	// Fig: mean speed-up of the target (seconds saved vs no intervention)
+	// per policy, x = policy index in Policies order.
+	Fig metrics.Figure
+	// Policies lists the compared policies; MeanSavings is aligned with it.
+	Policies    []SpeedupPolicy
+	MeanSavings []float64
+	// PredictedVsActual is the mean |predicted−actual| of the §3.1 benefit
+	// formula across runs, in seconds.
+	PredictedVsActual float64
+}
+
+// speedupScenario rebuilds the identical workload for one run. Determinism
+// makes policy comparisons exact: each policy replays the same queries with
+// the same prework. The shape realizes the paper's motivating trap: query 1
+// is the heaviest resource consumer (most work done) but is about to finish,
+// while query 2 is equally large and has barely started; the remaining
+// queries are a small Zipf mix, and the target sits in the middle.
+func speedupScenario(ds *workload.Dataset, cfg SpeedupConfig, seed int64) (*sched.Server, []*sched.Query, error) {
+	rng := rand.New(rand.NewSource(seed))
+	zipf, err := workload.NewZipf(cfg.ZipfA, cfg.MaxN/4)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := sched.New(sched.Config{RateC: cfg.RateC, Quantum: cfg.Quantum})
+	type spec struct {
+		n       int
+		prework float64
+	}
+	specs := []spec{
+		{cfg.MaxN, 0.85 + 0.1*rng.Float64()}, // the trap: heavy consumer, nearly done
+		{cfg.MaxN, 0.05 * rng.Float64()},     // the real victim: heavy and fresh
+		{cfg.MaxN / 2, 0.3 * rng.Float64()},  // the target
+	}
+	for len(specs) < cfg.NumQueries {
+		specs = append(specs, spec{zipf.Sample(rng), rng.Float64() * 0.8})
+	}
+	var queries []*sched.Query
+	for i, sp := range specs {
+		q, err := buildPartQuery(ds, srv, i+1, sp.n, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		if sp.prework > 0 {
+			if _, _, err := q.Runner.Step(sp.prework * q.Runner.Plan().EstCost()); err != nil {
+				return nil, nil, err
+			}
+		}
+		queries = append(queries, q)
+		srv.Submit(q)
+	}
+	return srv, queries, nil
+}
+
+// targetPos is the index of the target query in the scenario's spec order.
+const targetPos = 2
+
+// RunSpeedup compares victim-selection policies for the single-query
+// speed-up problem across Runs deterministic scenarios.
+func RunSpeedup(cfg SpeedupConfig) (*SpeedupResult, error) {
+	cfg = cfg.withDefaults()
+	ds, err := workload.BuildDataset(cfg.Data)
+	if err != nil {
+		return nil, err
+	}
+	policies := []SpeedupPolicy{PolicyMultiPI, PolicyHeaviestConsumer, PolicyRandom}
+	sums := make(map[SpeedupPolicy]float64, len(policies))
+	var predErr []float64
+
+	for r := 0; r < cfg.Runs; r++ {
+		seed := cfg.Seed + int64(r)*65537
+		// Baseline replay: find the target and its unassisted finish time.
+		srv, queries, err := speedupScenario(ds, cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		srv.RunUntilIdle(1e9)
+		if queries[targetPos].Status != sched.StatusFinished {
+			return nil, fmt.Errorf("experiments: target failed: %v", queries[targetPos].Err)
+		}
+		baseline := queries[targetPos].FinishTime
+
+		for _, policy := range policies {
+			srv, queries, err := speedupScenario(ds, cfg, seed)
+			if err != nil {
+				return nil, err
+			}
+			target := queries[targetPos]
+			victimID, predicted, err := pickVictim(policy, srv, target, seed)
+			if err != nil {
+				return nil, err
+			}
+			if err := srv.Block(victimID); err != nil {
+				return nil, err
+			}
+			for srv.Busy() && target.Status != sched.StatusFinished && target.Status != sched.StatusFailed {
+				srv.Tick()
+			}
+			if target.Status != sched.StatusFinished {
+				return nil, fmt.Errorf("experiments: target did not finish under %s: %v", policy, target.Err)
+			}
+			saving := baseline - target.FinishTime
+			sums[policy] += saving
+			if policy == PolicyMultiPI {
+				d := predicted - saving
+				if d < 0 {
+					d = -d
+				}
+				predErr = append(predErr, d)
+			}
+		}
+	}
+
+	res := &SpeedupResult{
+		Fig: metrics.Figure{
+			Title:  "Extension: victim-selection policies — mean target speed-up (s)",
+			XLabel: "policy#",
+			YLabel: "seconds saved vs no intervention",
+		},
+		Policies:          policies,
+		PredictedVsActual: metrics.Mean(predErr),
+	}
+	s := res.Fig.AddSeries("mean saving")
+	for i, p := range policies {
+		mean := sums[p] / float64(cfg.Runs)
+		res.MeanSavings = append(res.MeanSavings, mean)
+		s.Add(float64(i+1), mean)
+	}
+	return res, nil
+}
+
+// pickVictim applies one policy to the time-0 state and returns the chosen
+// victim and (for the PI policy) the predicted benefit.
+func pickVictim(policy SpeedupPolicy, srv *sched.Server, target *sched.Query, seed int64) (int, float64, error) {
+	running := srv.Running()
+	switch policy {
+	case PolicyMultiPI:
+		victims, err := wm.SpeedUpSingle(srv.StateRunning(), srv.RateC(), target.ID, 1)
+		if err != nil {
+			return 0, 0, err
+		}
+		return victims[0].ID, victims[0].Benefit, nil
+	case PolicyHeaviestConsumer:
+		best, bestWork := -1, -1.0
+		for _, q := range running {
+			if q.ID == target.ID {
+				continue
+			}
+			if w := q.Runner.WorkDone(); w > bestWork {
+				best, bestWork = q.ID, w
+			}
+		}
+		return best, 0, nil
+	case PolicyRandom:
+		rng := rand.New(rand.NewSource(seed ^ 0x51ED270))
+		candidates := make([]int, 0, len(running)-1)
+		for _, q := range running {
+			if q.ID != target.ID {
+				candidates = append(candidates, q.ID)
+			}
+		}
+		return candidates[rng.Intn(len(candidates))], 0, nil
+	default:
+		return 0, 0, fmt.Errorf("experiments: unknown policy %q", policy)
+	}
+}

@@ -1,0 +1,213 @@
+// Package metrics provides the small amount of plumbing the experiment
+// harness needs: named (x, y) series, text rendering of figures as aligned
+// tables, and relative-error helpers matching the paper's definition.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named sequence of points.
+type Series struct {
+	Name string
+	Pts  []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Pts = append(s.Pts, Point{X: x, Y: y}) }
+
+// YAt returns the y value at x (within tolerance), or NaN.
+func (s *Series) YAt(x float64) float64 {
+	for _, p := range s.Pts {
+		if math.Abs(p.X-x) < 1e-9 {
+			return p.Y
+		}
+	}
+	return math.NaN()
+}
+
+// Last returns the final point; ok is false for an empty series.
+func (s *Series) Last() (Point, bool) {
+	if len(s.Pts) == 0 {
+		return Point{}, false
+	}
+	return s.Pts[len(s.Pts)-1], true
+}
+
+// Figure is a set of series sharing an x axis, renderable as a text table —
+// the harness's stand-in for the paper's plots.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// AddSeries creates, attaches, and returns a new series.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// xGrid returns the sorted union of x values across all series.
+func (f *Figure) xGrid() []float64 {
+	var xs []float64
+	for _, s := range f.Series {
+		for _, p := range s.Pts {
+			xs = append(xs, p.X)
+		}
+	}
+	sort.Float64s(xs)
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x-out[len(out)-1] > 1e-9 {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Render draws the figure as an aligned text table, one row per x value and
+// one column per series. Missing samples render as "-".
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", f.Title)
+	cols := make([]string, 0, len(f.Series)+1)
+	cols = append(cols, f.XLabel)
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	rows := [][]string{cols}
+	for _, x := range f.xGrid() {
+		row := []string{formatNum(x)}
+		for _, s := range f.Series {
+			y := s.YAt(x)
+			if math.IsNaN(y) {
+				row = append(row, "-")
+			} else {
+				row = append(row, formatNum(y))
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(cols))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			total := 0
+			for _, w := range widths {
+				total += w + 2
+			}
+			b.WriteString(strings.Repeat("-", total-2))
+			b.WriteByte('\n')
+		}
+	}
+	if f.YLabel != "" {
+		fmt.Fprintf(&b, "(y: %s)\n", f.YLabel)
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values with a header row —
+// ready for gnuplot/matplotlib. Missing samples are empty cells.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(f.XLabel))
+	for _, s := range f.Series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Name))
+	}
+	b.WriteByte('\n')
+	for _, x := range f.xGrid() {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			b.WriteByte(',')
+			y := s.YAt(x)
+			if !math.IsNaN(y) {
+				fmt.Fprintf(&b, "%g", y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+func formatNum(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// RelErr is the paper's relative error |est − actual| / actual × 100%,
+// returned as a fraction (0.35 = 35%). A zero actual with a zero estimate is
+// a perfect prediction; a zero actual otherwise yields +Inf.
+func RelErr(est, actual float64) float64 {
+	if actual == 0 {
+		if est == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	if math.IsInf(est, 0) {
+		return math.Inf(1)
+	}
+	return math.Abs(est-actual) / math.Abs(actual)
+}
+
+// Mean averages the values, ignoring NaNs; +Inf values saturate the mean.
+func Mean(vals []float64) float64 {
+	n := 0
+	sum := 0.0
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		if math.IsInf(v, 1) {
+			return math.Inf(1)
+		}
+		sum += v
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := &Series{Name: "s"}
+	if _, ok := s.Last(); ok {
+		t.Error("empty series has no last point")
+	}
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if p, ok := s.Last(); !ok || p.X != 2 || p.Y != 20 {
+		t.Errorf("Last = %+v, %v", p, ok)
+	}
+	if got := s.YAt(1); got != 10 {
+		t.Errorf("YAt(1) = %g", got)
+	}
+	if got := s.YAt(3); !math.IsNaN(got) {
+		t.Errorf("YAt(missing) = %g", got)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := Figure{Title: "T", XLabel: "x", YLabel: "u"}
+	a := f.AddSeries("alpha")
+	b := f.AddSeries("beta")
+	a.Add(0, 1)
+	a.Add(1, 2)
+	b.Add(0, 10)
+	b.Add(2, 30) // ragged grid: row 1 has no beta, row 2 no alpha
+	out := f.Render()
+	for _, frag := range []string{"== T ==", "alpha", "beta", "(y: u)"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + 3 x rows + ylabel = 7 lines.
+	if len(lines) != 7 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	// Missing cells render as "-".
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing-cell marker absent:\n%s", out)
+	}
+}
+
+func TestFigureRenderInf(t *testing.T) {
+	f := Figure{Title: "T", XLabel: "x"}
+	s := f.AddSeries("s")
+	s.Add(0, math.Inf(1))
+	if !strings.Contains(f.Render(), "inf") {
+		t.Error("inf should render")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	cases := []struct {
+		est, actual, want float64
+	}{
+		{90, 100, 0.1},
+		{110, 100, 0.1},
+		{100, 100, 0},
+		{0, 0, 0},
+		{200, -100, 3},
+	}
+	for _, c := range cases {
+		if got := RelErr(c.est, c.actual); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("RelErr(%g, %g) = %g, want %g", c.est, c.actual, got, c.want)
+		}
+	}
+	if got := RelErr(5, 0); !math.IsInf(got, 1) {
+		t.Errorf("RelErr(5,0) = %g", got)
+	}
+	if got := RelErr(math.Inf(1), 100); !math.IsInf(got, 1) {
+		t.Errorf("RelErr(inf,100) = %g", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := Mean([]float64{1, math.NaN(), 3}); got != 2 {
+		t.Errorf("Mean with NaN = %g", got)
+	}
+	if got := Mean(nil); !math.IsNaN(got) {
+		t.Errorf("Mean(nil) = %g", got)
+	}
+	if got := Mean([]float64{1, math.Inf(1)}); !math.IsInf(got, 1) {
+		t.Errorf("Mean with inf = %g", got)
+	}
+}
+
+func TestFormatNumStable(t *testing.T) {
+	f := Figure{Title: "T", XLabel: "x"}
+	s := f.AddSeries("s")
+	s.Add(0.025, 123.456)
+	s.Add(1000000, 0.5)
+	out := f.Render()
+	if !strings.Contains(out, "0.0250") || !strings.Contains(out, "123.5") {
+		t.Errorf("number formatting:\n%s", out)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := Figure{Title: "T", XLabel: "lambda"}
+	a := f.AddSeries("single, est") // comma forces quoting
+	b := f.AddSeries("multi")
+	a.Add(0, 1.5)
+	a.Add(0.05, 2)
+	b.Add(0, 0.5)
+	got := f.CSV()
+	want := "lambda,\"single, est\",multi\n0,1.5,0.5\n0.05,2,\n"
+	if got != want {
+		t.Errorf("CSV:\n%q\nwant:\n%q", got, want)
+	}
+}

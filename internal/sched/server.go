@@ -1,0 +1,525 @@
+// Package sched simulates the multi-query RDBMS of the paper's model in
+// virtual time: the server processes C work units per second in total
+// (Assumption 1) and divides them among running queries in proportion to the
+// weights of their priorities (Assumption 3). An admission queue with an MPL
+// limit, scheduled arrivals, and block/abort controls provide everything the
+// experiments and the workload-management algorithms need.
+//
+// Queries execute for real — each one drives an exec.Runner over actual
+// data — only the clock is virtual, which is what makes hour-long workloads
+// reproducible in milliseconds.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"mqpi/internal/core"
+	"mqpi/internal/engine/exec"
+)
+
+// Status is a query's lifecycle state.
+type Status uint8
+
+const (
+	StatusQueued Status = iota
+	StatusRunning
+	StatusBlocked
+	StatusFinished
+	StatusAborted
+	StatusFailed
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case StatusQueued:
+		return "queued"
+	case StatusRunning:
+		return "running"
+	case StatusBlocked:
+		return "blocked"
+	case StatusFinished:
+		return "finished"
+	case StatusAborted:
+		return "aborted"
+	case StatusFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Query is one query under the server's control.
+type Query struct {
+	ID       int
+	Label    string
+	SQL      string
+	Priority int
+	Runner   *exec.Runner
+
+	Status     Status
+	SubmitTime float64
+	StartTime  float64
+	FinishTime float64 // finish, abort, or failure time
+	Err        error
+
+	credit  float64
+	tracker *core.SpeedTracker
+}
+
+// ObservedSpeed returns the query's execution speed in U/s as monitored over
+// the speed window — the s in the single-query PI's t = c/s.
+func (q *Query) ObservedSpeed() float64 {
+	if q.tracker == nil {
+		return 0
+	}
+	return q.tracker.Speed()
+}
+
+// State converts the query to the PI's abstract view, using the refined
+// remaining-cost estimate.
+func (q *Query) State() core.QueryState {
+	return core.QueryState{
+		ID:        q.ID,
+		Remaining: q.Runner.EstRemaining(),
+		Weight:    0, // filled by the server, which knows the weight table
+		Done:      q.Runner.WorkDone(),
+	}
+}
+
+// Config configures a Server.
+type Config struct {
+	// RateC is the paper's constant processing rate C in U/s.
+	RateC float64
+	// RateFunc, when non-nil, makes the total processing rate depend on the
+	// number of runnable queries — deliberately violating the paper's
+	// Assumption 1 for the robustness experiments (§4.1: thrashing under
+	// load, speed-up when queries leave). It receives the runnable count
+	// and returns the total rate in U/s. The PIs still assume RateC.
+	RateFunc func(runnable int) float64
+	// MPL caps concurrently admitted queries; 0 means unlimited.
+	MPL int
+	// Quantum is the virtual-time step in seconds (default 0.5).
+	Quantum float64
+	// Weights maps priority to weight; missing priorities get weight 1.
+	Weights map[int]float64
+	// SpeedWindow is the observation window for per-query speed in seconds
+	// (default 10).
+	SpeedWindow float64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.RateC <= 0 {
+		out.RateC = 100
+	}
+	if out.Quantum <= 0 {
+		out.Quantum = 0.5
+	}
+	if out.SpeedWindow <= 0 {
+		out.SpeedWindow = 10
+	}
+	return out
+}
+
+// arrival is a scheduled future submission.
+type arrival struct {
+	at float64
+	q  *Query
+}
+
+type arrivalHeap []arrival
+
+func (h arrivalHeap) Len() int            { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(arrival)) }
+func (h *arrivalHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Server is the simulated multi-query RDBMS.
+type Server struct {
+	cfg      Config
+	now      float64
+	nextID   int
+	running  []*Query
+	queue    []*Query
+	done     []*Query
+	arrivals arrivalHeap
+	onFinish []func(*Query)
+}
+
+// New creates a server.
+func New(cfg Config) *Server {
+	return &Server{cfg: cfg.withDefaults(), nextID: 1}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Server) Now() float64 { return s.now }
+
+// RateC returns the configured processing rate C.
+func (s *Server) RateC() float64 { return s.cfg.RateC }
+
+// MPL returns the admission limit (0 = unlimited).
+func (s *Server) MPL() int { return s.cfg.MPL }
+
+// WeightOf maps a priority to its weight (Assumption 3's weight table).
+func (s *Server) WeightOf(priority int) float64 {
+	if w, ok := s.cfg.Weights[priority]; ok {
+		return w
+	}
+	return 1
+}
+
+// OnFinish registers a callback invoked when a query finishes or fails.
+func (s *Server) OnFinish(f func(*Query)) { s.onFinish = append(s.onFinish, f) }
+
+// NewQuery wraps a runner as a query ready for Submit.
+func (s *Server) NewQuery(label, sqlText string, priority int, r *exec.Runner) *Query {
+	q := &Query{
+		ID:       s.nextID,
+		Label:    label,
+		SQL:      sqlText,
+		Priority: priority,
+		Runner:   r,
+		tracker:  core.NewSpeedTracker(s.cfg.SpeedWindow),
+	}
+	s.nextID++
+	return q
+}
+
+// Submit places a query in the server: it starts running immediately if an
+// MPL slot is free, otherwise it waits in the admission queue.
+func (s *Server) Submit(q *Query) {
+	q.SubmitTime = s.now
+	if s.cfg.MPL > 0 && len(s.running) >= s.cfg.MPL {
+		q.Status = StatusQueued
+		s.queue = append(s.queue, q)
+		return
+	}
+	s.admit(q)
+}
+
+// ScheduleArrival submits the query automatically at virtual time at.
+func (s *Server) ScheduleArrival(at float64, q *Query) {
+	if at <= s.now {
+		s.Submit(q)
+		return
+	}
+	heap.Push(&s.arrivals, arrival{at: at, q: q})
+}
+
+func (s *Server) admit(q *Query) {
+	q.Status = StatusRunning
+	q.StartTime = s.now
+	s.running = append(s.running, q)
+}
+
+// Busy reports whether any query is running, blocked, or queued, or any
+// arrival is still scheduled.
+func (s *Server) Busy() bool {
+	return len(s.running) > 0 || len(s.queue) > 0 || len(s.arrivals) > 0
+}
+
+// Running returns the admitted queries (running and blocked), in admission
+// order.
+func (s *Server) Running() []*Query { return s.running }
+
+// Queued returns the admission queue in FIFO order.
+func (s *Server) Queued() []*Query { return s.queue }
+
+// Finished returns all terminated queries (finished, aborted, failed).
+func (s *Server) Finished() []*Query { return s.done }
+
+// Lookup finds a query by ID among running, queued, and terminated queries.
+func (s *Server) Lookup(id int) (*Query, bool) {
+	for _, q := range s.running {
+		if q.ID == id {
+			return q, true
+		}
+	}
+	for _, q := range s.queue {
+		if q.ID == id {
+			return q, true
+		}
+	}
+	for _, q := range s.done {
+		if q.ID == id {
+			return q, true
+		}
+	}
+	return nil, false
+}
+
+// Block suspends an admitted query (the §3.1 victim operation): it keeps its
+// MPL slot but receives no capacity until Unblock.
+func (s *Server) Block(id int) error {
+	for _, q := range s.running {
+		if q.ID == id {
+			if q.Status != StatusRunning && q.Status != StatusBlocked {
+				return fmt.Errorf("sched: query %d is %s, cannot block", id, q.Status)
+			}
+			q.Status = StatusBlocked
+			return nil
+		}
+	}
+	return fmt.Errorf("sched: query %d is not admitted", id)
+}
+
+// Unblock resumes a blocked query.
+func (s *Server) Unblock(id int) error {
+	for _, q := range s.running {
+		if q.ID == id {
+			if q.Status != StatusBlocked {
+				return fmt.Errorf("sched: query %d is %s, cannot unblock", id, q.Status)
+			}
+			q.Status = StatusRunning
+			return nil
+		}
+	}
+	return fmt.Errorf("sched: query %d is not admitted", id)
+}
+
+// SetPriority changes the priority of a running, blocked, or queued query
+// (the §3.1 "natural choice" for speeding a query up). It takes effect at
+// the next quantum.
+func (s *Server) SetPriority(id, priority int) error {
+	for _, q := range s.running {
+		if q.ID == id {
+			q.Priority = priority
+			return nil
+		}
+	}
+	for _, q := range s.queue {
+		if q.ID == id {
+			q.Priority = priority
+			return nil
+		}
+	}
+	return fmt.Errorf("sched: query %d is not active", id)
+}
+
+// Abort terminates a query wherever it is (running, blocked, or queued).
+// Per §3.3 the abort itself is treated as free.
+func (s *Server) Abort(id int) error {
+	for i, q := range s.running {
+		if q.ID == id {
+			q.Status = StatusAborted
+			q.FinishTime = s.now
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			s.done = append(s.done, q)
+			s.fillSlots()
+			return nil
+		}
+	}
+	for i, q := range s.queue {
+		if q.ID == id {
+			q.Status = StatusAborted
+			q.FinishTime = s.now
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			s.done = append(s.done, q)
+			return nil
+		}
+	}
+	return fmt.Errorf("sched: query %d is not active", id)
+}
+
+func (s *Server) fillSlots() {
+	for len(s.queue) > 0 && (s.cfg.MPL <= 0 || len(s.running) < s.cfg.MPL) {
+		q := s.queue[0]
+		s.queue = s.queue[1:]
+		s.admit(q)
+	}
+}
+
+// Tick advances virtual time by one quantum: due arrivals are submitted,
+// then C×quantum work units are distributed among runnable queries in
+// proportion to their weights.
+func (s *Server) Tick() {
+	// Submit arrivals due in this quantum at its start.
+	for len(s.arrivals) > 0 && s.arrivals[0].at <= s.now+1e-12 {
+		a := heap.Pop(&s.arrivals).(arrival)
+		s.Submit(a.q)
+	}
+
+	dt := s.cfg.Quantum
+	var runnable []*Query
+	W := 0.0
+	for _, q := range s.running {
+		if q.Status == StatusRunning {
+			runnable = append(runnable, q)
+			W += s.WeightOf(q.Priority)
+		}
+	}
+	if W > 0 {
+		rate := s.cfg.RateC
+		if s.cfg.RateFunc != nil {
+			rate = s.cfg.RateFunc(len(runnable))
+		}
+		budget := rate * dt
+		for _, q := range runnable {
+			q.credit += budget * s.WeightOf(q.Priority) / W
+			if q.credit <= 0 {
+				continue
+			}
+			consumed, done, err := q.Runner.Step(q.credit)
+			q.credit -= consumed
+			if done {
+				q.FinishTime = s.now + dt
+				if err != nil {
+					q.Status = StatusFailed
+					q.Err = err
+				} else {
+					q.Status = StatusFinished
+				}
+			}
+		}
+	}
+	s.now += dt
+
+	// Retire finished queries and refill MPL slots.
+	var finished []*Query
+	kept := s.running[:0]
+	for _, q := range s.running {
+		if q.Status == StatusFinished || q.Status == StatusFailed {
+			finished = append(finished, q)
+			s.done = append(s.done, q)
+			continue
+		}
+		kept = append(kept, q)
+	}
+	s.running = kept
+	s.fillSlots()
+
+	// Speed observation happens after time advanced, so trackers see the
+	// work/time pairing the PI would sample.
+	for _, q := range s.running {
+		q.tracker.Observe(s.now, q.Runner.WorkDone())
+	}
+	for _, q := range finished {
+		q.tracker.Observe(s.now, q.Runner.WorkDone())
+		for _, f := range s.onFinish {
+			f(q)
+		}
+	}
+}
+
+// RunUntil ticks until virtual time reaches t.
+func (s *Server) RunUntil(t float64) {
+	for s.now < t && s.Busy() {
+		s.Tick()
+	}
+}
+
+// Stalled reports whether the server can make no further progress on its
+// own: no query is runnable and no arrival is pending, so every remaining
+// query is blocked (or stuck behind blocked queries in the admission queue).
+func (s *Server) Stalled() bool {
+	if len(s.arrivals) > 0 {
+		return false
+	}
+	for _, q := range s.running {
+		if q.Status == StatusRunning {
+			return false
+		}
+	}
+	// Queued queries could only be admitted when a running query retires,
+	// which cannot happen if nothing is runnable.
+	return len(s.running) > 0 || len(s.queue) > 0
+}
+
+// RunUntilIdle ticks until no work remains, the server stalls (only blocked
+// queries left), or maxTime is reached; it returns the stopping time.
+func (s *Server) RunUntilIdle(maxTime float64) float64 {
+	for s.Busy() && !s.Stalled() && s.now < maxTime {
+		s.Tick()
+	}
+	return s.now
+}
+
+// StateRunning returns the PI view of admitted queries: refined remaining
+// costs, weights (0 for blocked queries, which receive no capacity), and
+// completed work.
+func (s *Server) StateRunning() []core.QueryState {
+	out := make([]core.QueryState, 0, len(s.running))
+	for _, q := range s.running {
+		st := q.State()
+		if q.Status == StatusRunning {
+			st.Weight = s.WeightOf(q.Priority)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// StateQueued returns the PI view of the admission queue in FIFO order.
+func (s *Server) StateQueued() []core.QueryState {
+	out := make([]core.QueryState, 0, len(s.queue))
+	for _, q := range s.queue {
+		st := q.State()
+		st.Weight = s.WeightOf(q.Priority)
+		out = append(out, st)
+	}
+	return out
+}
+
+// TotalRemaining returns the sum of refined remaining costs of admitted
+// queries, in U's.
+func (s *Server) TotalRemaining() float64 {
+	t := 0.0
+	for _, q := range s.running {
+		t += q.Runner.EstRemaining()
+	}
+	return t
+}
+
+// QuiescentEstimate predicts when all admitted and queued queries will have
+// finished, from the stage model.
+func (s *Server) QuiescentEstimate() float64 {
+	prof := core.SimulateProfile(s.StateRunning(), s.cfg.RateC, core.SimOptions{
+		MPL:    s.cfg.MPL,
+		Queued: s.StateQueued(),
+	})
+	t := 0.0
+	for _, f := range prof.Finish {
+		if !math.IsInf(f, 1) && f > t {
+			t = f
+		}
+	}
+	return s.now + t
+}
+
+// SortQueriesByRemainingTime returns admitted query IDs sorted ascending by
+// c_i/s_i (the paper's canonical ordering), using refined remaining costs
+// and current weights.
+func (s *Server) SortQueriesByRemainingTime() []int {
+	states := s.StateRunning()
+	sort.SliceStable(states, func(i, j int) bool {
+		ri := ratioOf(states[i])
+		rj := ratioOf(states[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return states[i].ID < states[j].ID
+	})
+	ids := make([]int, len(states))
+	for i, st := range states {
+		ids[i] = st.ID
+	}
+	return ids
+}
+
+func ratioOf(st core.QueryState) float64 {
+	if st.Weight <= 0 {
+		return math.Inf(1)
+	}
+	return st.Remaining / st.Weight
+}

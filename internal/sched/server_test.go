@@ -1,0 +1,468 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"mqpi/internal/engine"
+	"mqpi/internal/engine/exec"
+	"mqpi/internal/engine/types"
+)
+
+// prepare builds a runner that scans and sums a fresh table of `pages`
+// heap pages, so its total work is exactly pages+1 U (scan + aggregate
+// materialization).
+func prepare(t testing.TB, db *engine.DB, name string, pages int) *exec.Runner {
+	t.Helper()
+	if _, err := db.Exec("CREATE TABLE " + name + " (a BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	cat := db.Catalog()
+	for i := 0; i < pages*64; i++ {
+		if err := cat.Insert(name, types.Row{types.NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := db.Prepare("SELECT SUM(a) FROM " + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.CollectRows = false
+	return r
+}
+
+func newServer(cfg Config) *Server { return New(cfg) }
+
+func TestFairSharingEqualPriorities(t *testing.T) {
+	db := engine.Open()
+	srv := newServer(Config{RateC: 10, Quantum: 0.5})
+	q1 := srv.NewQuery("q1", "", 0, prepare(t, db, "t1", 10))
+	q2 := srv.NewQuery("q2", "", 0, prepare(t, db, "t2", 30))
+	srv.Submit(q1)
+	srv.Submit(q2)
+	srv.RunUntilIdle(1e6)
+	// Work-conserving: total 42 U at 10 U/s -> idle at ~4.2s (quantum 0.5
+	// rounds up).
+	if srv.Now() < 4 || srv.Now() > 6 {
+		t.Errorf("idle at %g, want ~4.5", srv.Now())
+	}
+	// q1 (11 U at 5 U/s) finishes near 2.2s; q2 near 4.2s.
+	if q1.FinishTime < 2 || q1.FinishTime > 3 {
+		t.Errorf("q1 finish = %g", q1.FinishTime)
+	}
+	if q2.FinishTime < 4 || q2.FinishTime > 5.5 {
+		t.Errorf("q2 finish = %g", q2.FinishTime)
+	}
+	if q1.Status != StatusFinished || q2.Status != StatusFinished {
+		t.Errorf("status: %v, %v", q1.Status, q2.Status)
+	}
+}
+
+func TestWeightedSharing(t *testing.T) {
+	db := engine.Open()
+	srv := newServer(Config{
+		RateC:   10,
+		Quantum: 0.25,
+		Weights: map[int]float64{1: 1, 3: 3},
+	})
+	hi := srv.NewQuery("hi", "", 3, prepare(t, db, "th", 15))
+	lo := srv.NewQuery("lo", "", 1, prepare(t, db, "tl", 15))
+	srv.Submit(hi)
+	srv.Submit(lo)
+	srv.RunUntilIdle(1e6)
+	if hi.FinishTime >= lo.FinishTime {
+		t.Errorf("high priority (%g) should finish before low (%g)", hi.FinishTime, lo.FinishTime)
+	}
+	// hi runs at 7.5 U/s: 16 U -> ~2.1s. lo finishes at 32/10 = 3.2s.
+	if hi.FinishTime > 3 {
+		t.Errorf("hi finish = %g", hi.FinishTime)
+	}
+	if lo.FinishTime < 3 || lo.FinishTime > 4 {
+		t.Errorf("lo finish = %g", lo.FinishTime)
+	}
+}
+
+func TestMPLQueueing(t *testing.T) {
+	db := engine.Open()
+	srv := newServer(Config{RateC: 10, Quantum: 0.5, MPL: 1})
+	q1 := srv.NewQuery("q1", "", 0, prepare(t, db, "t1", 10))
+	q2 := srv.NewQuery("q2", "", 0, prepare(t, db, "t2", 10))
+	srv.Submit(q1)
+	srv.Submit(q2)
+	if q1.Status != StatusRunning || q2.Status != StatusQueued {
+		t.Fatalf("admission: %v, %v", q1.Status, q2.Status)
+	}
+	if len(srv.Queued()) != 1 {
+		t.Fatalf("queued: %d", len(srv.Queued()))
+	}
+	srv.RunUntilIdle(1e6)
+	if q2.StartTime <= q1.StartTime {
+		t.Errorf("q2 must start after q1: %g vs %g", q2.StartTime, q1.StartTime)
+	}
+	if q2.StartTime < q1.FinishTime-1e-9 {
+		t.Errorf("q2 started at %g before q1 finished at %g", q2.StartTime, q1.FinishTime)
+	}
+}
+
+func TestScheduledArrival(t *testing.T) {
+	db := engine.Open()
+	srv := newServer(Config{RateC: 10, Quantum: 0.5})
+	q1 := srv.NewQuery("q1", "", 0, prepare(t, db, "t1", 20))
+	late := srv.NewQuery("late", "", 0, prepare(t, db, "t2", 5))
+	srv.Submit(q1)
+	srv.ScheduleArrival(3, late)
+	if len(srv.Running()) != 1 {
+		t.Fatalf("late query admitted early")
+	}
+	srv.RunUntilIdle(1e6)
+	if late.SubmitTime < 3 || late.SubmitTime > 3.6 {
+		t.Errorf("late submit = %g", late.SubmitTime)
+	}
+	if late.Status != StatusFinished {
+		t.Errorf("late status: %v", late.Status)
+	}
+	// Scheduling in the past submits immediately.
+	srv2 := newServer(Config{RateC: 10})
+	now := srv2.NewQuery("now", "", 0, prepare(t, db, "t3", 1))
+	srv2.ScheduleArrival(-1, now)
+	if now.Status != StatusRunning {
+		t.Errorf("past arrival should run: %v", now.Status)
+	}
+}
+
+func TestBlockAndUnblock(t *testing.T) {
+	db := engine.Open()
+	srv := newServer(Config{RateC: 10, Quantum: 0.5})
+	q1 := srv.NewQuery("q1", "", 0, prepare(t, db, "t1", 40))
+	q2 := srv.NewQuery("q2", "", 0, prepare(t, db, "t2", 10))
+	srv.Submit(q1)
+	srv.Submit(q2)
+	if err := srv.Block(q2.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Blocked query gets no work; q1 gets everything.
+	for i := 0; i < 4; i++ {
+		srv.Tick()
+	}
+	if q2.Runner.WorkDone() != 0 {
+		t.Errorf("blocked query did %g U", q2.Runner.WorkDone())
+	}
+	if q1.Runner.WorkDone() < 15 {
+		t.Errorf("q1 should get full capacity, did %g U", q1.Runner.WorkDone())
+	}
+	// Blocked queries appear with zero weight in the PI view.
+	for _, st := range srv.StateRunning() {
+		if st.ID == q2.ID && st.Weight != 0 {
+			t.Errorf("blocked weight = %g", st.Weight)
+		}
+	}
+	if err := srv.Unblock(q2.ID); err != nil {
+		t.Fatal(err)
+	}
+	srv.RunUntilIdle(1e6)
+	if q2.Status != StatusFinished {
+		t.Errorf("q2 status after unblock: %v", q2.Status)
+	}
+	// Error paths.
+	if err := srv.Block(9999); err == nil {
+		t.Error("blocking unknown query should fail")
+	}
+	if err := srv.Unblock(q2.ID); err == nil {
+		t.Error("unblocking a finished query should fail")
+	}
+}
+
+func TestAbortFreesSlot(t *testing.T) {
+	db := engine.Open()
+	srv := newServer(Config{RateC: 10, Quantum: 0.5, MPL: 1})
+	q1 := srv.NewQuery("q1", "", 0, prepare(t, db, "t1", 100))
+	q2 := srv.NewQuery("q2", "", 0, prepare(t, db, "t2", 5))
+	srv.Submit(q1)
+	srv.Submit(q2)
+	if err := srv.Abort(q1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if q1.Status != StatusAborted {
+		t.Errorf("q1 status: %v", q1.Status)
+	}
+	if q2.Status != StatusRunning {
+		t.Errorf("q2 should be admitted after abort: %v", q2.Status)
+	}
+	// Abort from the queue too.
+	srv2 := newServer(Config{RateC: 10, MPL: 1})
+	a := srv2.NewQuery("a", "", 0, prepare(t, db, "t3", 5))
+	b := srv2.NewQuery("b", "", 0, prepare(t, db, "t4", 5))
+	srv2.Submit(a)
+	srv2.Submit(b)
+	if err := srv2.Abort(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if b.Status != StatusAborted || len(srv2.Queued()) != 0 {
+		t.Errorf("queued abort: %v, queue %d", b.Status, len(srv2.Queued()))
+	}
+	if err := srv2.Abort(12345); err == nil {
+		t.Error("aborting unknown query should fail")
+	}
+}
+
+func TestOnFinishCallback(t *testing.T) {
+	db := engine.Open()
+	srv := newServer(Config{RateC: 10, Quantum: 0.5})
+	q := srv.NewQuery("q", "", 0, prepare(t, db, "t1", 3))
+	var finished []*Query
+	srv.OnFinish(func(f *Query) { finished = append(finished, f) })
+	srv.Submit(q)
+	srv.RunUntilIdle(1e6)
+	if len(finished) != 1 || finished[0] != q {
+		t.Errorf("callbacks: %v", finished)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	db := engine.Open()
+	srv := newServer(Config{RateC: 10, MPL: 1})
+	q1 := srv.NewQuery("q1", "", 0, prepare(t, db, "t1", 2))
+	q2 := srv.NewQuery("q2", "", 0, prepare(t, db, "t2", 2))
+	srv.Submit(q1)
+	srv.Submit(q2)
+	for _, q := range []*Query{q1, q2} {
+		got, ok := srv.Lookup(q.ID)
+		if !ok || got != q {
+			t.Errorf("Lookup(%d) = %v, %v", q.ID, got, ok)
+		}
+	}
+	srv.RunUntilIdle(1e6)
+	if got, ok := srv.Lookup(q1.ID); !ok || got != q1 {
+		t.Error("finished queries must stay discoverable")
+	}
+	if _, ok := srv.Lookup(777); ok {
+		t.Error("unknown id should miss")
+	}
+}
+
+func TestObservedSpeedApproximatesShare(t *testing.T) {
+	db := engine.Open()
+	srv := newServer(Config{RateC: 20, Quantum: 0.5, SpeedWindow: 5})
+	q1 := srv.NewQuery("q1", "", 0, prepare(t, db, "t1", 200))
+	q2 := srv.NewQuery("q2", "", 0, prepare(t, db, "t2", 200))
+	srv.Submit(q1)
+	srv.Submit(q2)
+	for i := 0; i < 40; i++ { // 20s
+		srv.Tick()
+	}
+	got := q1.ObservedSpeed()
+	if math.Abs(got-10) > 2 {
+		t.Errorf("observed speed = %g, want ~10 (C/2)", got)
+	}
+}
+
+func TestQuiescentEstimateMatchesIdleTime(t *testing.T) {
+	db := engine.Open()
+	srv := newServer(Config{RateC: 10, Quantum: 0.5})
+	srv.Submit(srv.NewQuery("q1", "", 0, prepare(t, db, "t1", 12)))
+	srv.Submit(srv.NewQuery("q2", "", 0, prepare(t, db, "t2", 24)))
+	est := srv.QuiescentEstimate()
+	idle := srv.RunUntilIdle(1e6)
+	// The refined costs at t=0 equal the optimizer costs, which are exact
+	// for pure scans, so the estimate should be within a quantum or two.
+	if math.Abs(est-idle) > 1.5 {
+		t.Errorf("quiescent estimate %g vs actual idle %g", est, idle)
+	}
+}
+
+func TestSortQueriesByRemainingTime(t *testing.T) {
+	db := engine.Open()
+	srv := newServer(Config{RateC: 10})
+	small := srv.NewQuery("small", "", 0, prepare(t, db, "t1", 3))
+	large := srv.NewQuery("large", "", 0, prepare(t, db, "t2", 30))
+	srv.Submit(large)
+	srv.Submit(small)
+	ids := srv.SortQueriesByRemainingTime()
+	if len(ids) != 2 || ids[0] != small.ID || ids[1] != large.ID {
+		t.Errorf("order: %v (small=%d large=%d)", ids, small.ID, large.ID)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for st, want := range map[Status]string{
+		StatusQueued: "queued", StatusRunning: "running", StatusBlocked: "blocked",
+		StatusFinished: "finished", StatusAborted: "aborted", StatusFailed: "failed",
+	} {
+		if st.String() != want {
+			t.Errorf("%d renders %q", st, st.String())
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (float64, float64) {
+		db := engine.Open()
+		srv := newServer(Config{RateC: 10, Quantum: 0.5})
+		q1 := srv.NewQuery("q1", "", 0, prepare(t, db, "t1", 10))
+		q2 := srv.NewQuery("q2", "", 0, prepare(t, db, "t2", 20))
+		srv.Submit(q1)
+		srv.Submit(q2)
+		srv.RunUntilIdle(1e6)
+		return q1.FinishTime, q2.FinishTime
+	}
+	a1, a2 := run()
+	b1, b2 := run()
+	if a1 != b1 || a2 != b2 {
+		t.Errorf("nondeterministic: (%g,%g) vs (%g,%g)", a1, a2, b1, b2)
+	}
+}
+
+func TestSetPriority(t *testing.T) {
+	db := engine.Open()
+	srv := newServer(Config{
+		RateC:   10,
+		Quantum: 0.5,
+		Weights: map[int]float64{0: 1, 5: 4},
+	})
+	q1 := srv.NewQuery("q1", "", 0, prepare(t, db, "t1", 400))
+	q2 := srv.NewQuery("q2", "", 0, prepare(t, db, "t2", 400))
+	srv.Submit(q1)
+	srv.Submit(q2)
+	if err := srv.SetPriority(q1.ID, 5); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ { // 10s: far less than either query's 401 U
+		srv.Tick()
+	}
+	// q1 should now receive ~4/5 of the capacity.
+	r := q1.Runner.WorkDone() / (q1.Runner.WorkDone() + q2.Runner.WorkDone())
+	if r < 0.7 || r > 0.9 {
+		t.Errorf("priority share = %g, want ~0.8", r)
+	}
+	if err := srv.SetPriority(999, 5); err == nil {
+		t.Error("unknown query should fail")
+	}
+	// Queued queries can be re-prioritized too.
+	srv2 := newServer(Config{RateC: 10, MPL: 1})
+	a := srv2.NewQuery("a", "", 0, prepare(t, db, "t3", 2))
+	b := srv2.NewQuery("b", "", 0, prepare(t, db, "t4", 2))
+	srv2.Submit(a)
+	srv2.Submit(b)
+	if err := srv2.SetPriority(b.ID, 5); err != nil {
+		t.Fatal(err)
+	}
+	if b.Priority != 5 {
+		t.Errorf("queued priority = %d", b.Priority)
+	}
+}
+
+func TestStalledDetection(t *testing.T) {
+	db := engine.Open()
+	srv := newServer(Config{RateC: 10, Quantum: 0.5})
+	q1 := srv.NewQuery("q1", "", 0, prepare(t, db, "t1", 5))
+	q2 := srv.NewQuery("q2", "", 0, prepare(t, db, "t2", 100))
+	srv.Submit(q1)
+	srv.Submit(q2)
+	if srv.Stalled() {
+		t.Error("runnable server is not stalled")
+	}
+	if err := srv.Block(q2.ID); err != nil {
+		t.Fatal(err)
+	}
+	// RunUntilIdle must terminate even though the blocked query never
+	// finishes.
+	idle := srv.RunUntilIdle(1e12)
+	if idle >= 1e12 {
+		t.Fatalf("RunUntilIdle spun to the time cap")
+	}
+	if q1.Status != StatusFinished {
+		t.Errorf("q1 status: %v", q1.Status)
+	}
+	if !srv.Stalled() {
+		t.Error("only a blocked query remains: stalled")
+	}
+	// Scheduled arrivals mean the server is not stalled.
+	q3 := srv.NewQuery("q3", "", 0, prepare(t, db, "t3", 2))
+	srv.ScheduleArrival(srv.Now()+5, q3)
+	if srv.Stalled() {
+		t.Error("pending arrival: not stalled")
+	}
+	srv.RunUntilIdle(srv.Now() + 100)
+	if q3.Status != StatusFinished {
+		t.Errorf("q3 status: %v", q3.Status)
+	}
+}
+
+func TestFailedQueryReported(t *testing.T) {
+	db := engine.Open()
+	// A scalar sub-query returning two rows fails at runtime.
+	if _, err := db.Exec("CREATE TABLE two (a BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO two VALUES (1), (2)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE outerq (b BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := db.Exec("INSERT INTO outerq VALUES (1)"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := db.Prepare("SELECT (SELECT a FROM two) FROM outerq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(Config{RateC: 10, Quantum: 0.5})
+	q := srv.NewQuery("bad", "", 0, r)
+	var failed *Query
+	srv.OnFinish(func(f *Query) { failed = f })
+	srv.Submit(q)
+	srv.RunUntilIdle(1e6)
+	if q.Status != StatusFailed || q.Err == nil {
+		t.Fatalf("status %v err %v", q.Status, q.Err)
+	}
+	if failed != q {
+		t.Error("failure must fire OnFinish")
+	}
+}
+
+func TestRateFuncViolatesAssumption1(t *testing.T) {
+	db := engine.Open()
+	// Total rate halves when two queries run (thrashing model).
+	srv := newServer(Config{
+		RateC:   10,
+		Quantum: 0.5,
+		RateFunc: func(n int) float64 {
+			if n > 1 {
+				return 5
+			}
+			return 10
+		},
+	})
+	q1 := srv.NewQuery("q1", "", 0, prepare(t, db, "t1", 10))
+	q2 := srv.NewQuery("q2", "", 0, prepare(t, db, "t2", 10))
+	srv.Submit(q1)
+	srv.Submit(q2)
+	srv.RunUntilIdle(1e6)
+	// 22 U total: both running at 5 U/s total until q1's 11 U done at
+	// ~4.4s, then q2 alone at 10 U/s. Far later than the constant-rate 2.2s.
+	if q1.FinishTime < 4 {
+		t.Errorf("q1 finish = %g; contention not applied", q1.FinishTime)
+	}
+	if q2.FinishTime > q1.FinishTime+2 {
+		t.Errorf("q2 finish = %g; solo speed-up not applied", q2.FinishTime)
+	}
+}
+
+func TestQuiescentEstimateWithQueue(t *testing.T) {
+	db := engine.Open()
+	srv := newServer(Config{RateC: 10, Quantum: 0.5, MPL: 1})
+	srv.Submit(srv.NewQuery("a", "", 0, prepare(t, db, "t1", 10)))
+	srv.Submit(srv.NewQuery("b", "", 0, prepare(t, db, "t2", 10)))
+	est := srv.QuiescentEstimate()
+	// Total work 22 U at 10 U/s: ~2.2s — the queued query must be included.
+	if est < 2 || est > 3 {
+		t.Errorf("quiescent estimate %g, want ~2.2 (queued work included)", est)
+	}
+	idle := srv.RunUntilIdle(1e6)
+	if math.Abs(est-idle) > 1 {
+		t.Errorf("estimate %g vs actual idle %g", est, idle)
+	}
+}

@@ -1,0 +1,177 @@
+package wm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mqpi/internal/core"
+)
+
+// LostWorkMode selects the §3.3 definition of lost work.
+type LostWorkMode uint8
+
+const (
+	// Case1CompletedWork counts the work already completed for aborted
+	// queries (it is wasted when they are aborted).
+	Case1CompletedWork LostWorkMode = iota
+	// Case2TotalCost counts the total cost e_i + c_i of aborted queries
+	// (they must be rerun after maintenance — "unfinished work").
+	Case2TotalCost
+)
+
+// String renders the mode.
+func (m LostWorkMode) String() string {
+	switch m {
+	case Case1CompletedWork:
+		return "completed-work"
+	case Case2TotalCost:
+		return "total-cost"
+	default:
+		return fmt.Sprintf("LostWorkMode(%d)", uint8(m))
+	}
+}
+
+// lossOf returns the lost-work value of aborting q under the mode.
+func (m LostWorkMode) lossOf(q core.QueryState) float64 {
+	switch m {
+	case Case2TotalCost:
+		return q.Done + q.Remaining
+	default:
+		return q.Done
+	}
+}
+
+// MaintenancePlan is the outcome of a scheduled-maintenance decision: which
+// queries to abort now (operation O2′) so the rest finish by the deadline.
+type MaintenancePlan struct {
+	// Abort lists the IDs of queries to abort at time 0.
+	Abort []int
+	// Lost is the total lost work of the aborted queries (mode-dependent).
+	Lost float64
+	// Quiescent is the predicted system quiescent time in seconds: when all
+	// kept queries will have finished. Because weighted fair sharing is
+	// work-conserving, it equals Σ_kept c_i / C regardless of weights.
+	Quiescent float64
+}
+
+// PlanMaintenance is the paper's greedy knapsack of §3.3: sort queries
+// ascending by loss_i / V_i, where V_i = c_i/C is how much aborting Q_i
+// shortens the quiescent time, and abort in that order until the predicted
+// quiescent time meets the deadline. Queries that cannot help (c_i = 0) are
+// never aborted.
+func PlanMaintenance(states []core.QueryState, C float64, deadline float64, mode LostWorkMode) (MaintenancePlan, error) {
+	if C <= 0 {
+		return MaintenancePlan{}, fmt.Errorf("wm: rate C must be positive")
+	}
+	if deadline < 0 {
+		return MaintenancePlan{}, fmt.Errorf("wm: deadline must be non-negative")
+	}
+	total := 0.0
+	order := make([]int, 0, len(states))
+	for i, q := range states {
+		if q.Remaining > 0 {
+			order = append(order, i)
+		}
+		total += math.Max(0, q.Remaining)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		qa, qb := states[order[a]], states[order[b]]
+		// loss/V ascending; V = c/C, so compare loss/c.
+		ra := mode.lossOf(qa) / qa.Remaining
+		rb := mode.lossOf(qb) / qb.Remaining
+		if ra != rb {
+			return ra < rb
+		}
+		// Tie-break toward bigger time savings first.
+		if qa.Remaining != qb.Remaining {
+			return qa.Remaining > qb.Remaining
+		}
+		return qa.ID < qb.ID
+	})
+	plan := MaintenancePlan{}
+	budget := C * deadline // kept work must fit in the deadline
+	keptWork := total
+	for _, idx := range order {
+		if keptWork <= budget+1e-9 {
+			break
+		}
+		q := states[idx]
+		plan.Abort = append(plan.Abort, q.ID)
+		plan.Lost += mode.lossOf(q)
+		keptWork -= q.Remaining
+	}
+	plan.Quiescent = keptWork / C
+	return plan, nil
+}
+
+// PlanMaintenanceExact computes the optimal abort set by exhaustive subset
+// search with branch-and-bound: minimize lost work subject to the kept
+// queries' total remaining cost fitting within C×deadline. It is the
+// "theoretical limitation" of Figure 11 when fed exact costs. Exponential in
+// n; intended for n ≤ ~25 (the paper's experiments use n = 10).
+func PlanMaintenanceExact(states []core.QueryState, C float64, deadline float64, mode LostWorkMode) (MaintenancePlan, error) {
+	if C <= 0 {
+		return MaintenancePlan{}, fmt.Errorf("wm: rate C must be positive")
+	}
+	if deadline < 0 {
+		return MaintenancePlan{}, fmt.Errorf("wm: deadline must be non-negative")
+	}
+	if len(states) > 25 {
+		return MaintenancePlan{}, fmt.Errorf("wm: exact plan limited to 25 queries, got %d", len(states))
+	}
+	budget := C * deadline
+	n := len(states)
+	// Sort by descending loss so branch-and-bound prunes early.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return mode.lossOf(states[idx[a]]) > mode.lossOf(states[idx[b]])
+	})
+	bestLost := math.Inf(1)
+	var bestAbort []int
+	cur := make([]int, 0, n)
+
+	var search func(pos int, keptWork, lost float64)
+	search = func(pos int, keptWork, lost float64) {
+		if lost >= bestLost {
+			return
+		}
+		if pos == n {
+			if keptWork <= budget+1e-9 {
+				bestLost = lost
+				bestAbort = append([]int(nil), cur...)
+			}
+			return
+		}
+		q := states[idx[pos]]
+		// Option 1: keep the query.
+		search(pos+1, keptWork+math.Max(0, q.Remaining), lost)
+		// Option 2: abort it (pointless if it has no remaining cost).
+		if q.Remaining > 0 {
+			cur = append(cur, q.ID)
+			search(pos+1, keptWork, lost+mode.lossOf(q))
+			cur = cur[:len(cur)-1]
+		}
+	}
+	// Prune further: if even aborting everything cannot fit (impossible,
+	// since keeping nothing has keptWork 0), the search always finds a plan.
+	search(0, 0, 0)
+
+	plan := MaintenancePlan{Abort: bestAbort, Lost: bestLost}
+	kept := 0.0
+	aborted := make(map[int]bool, len(bestAbort))
+	for _, id := range bestAbort {
+		aborted[id] = true
+	}
+	for _, q := range states {
+		if !aborted[q.ID] {
+			kept += math.Max(0, q.Remaining)
+		}
+	}
+	plan.Quiescent = kept / C
+	sort.Ints(plan.Abort)
+	return plan, nil
+}

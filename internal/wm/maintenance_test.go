@@ -1,0 +1,213 @@
+package wm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mqpi/internal/core"
+)
+
+func maintStates() []core.QueryState {
+	return []core.QueryState{
+		{ID: 1, Remaining: 100, Weight: 1, Done: 900}, // nearly finished: expensive to abort
+		{ID: 2, Remaining: 500, Weight: 1, Done: 50},  // cheap to abort, big savings
+		{ID: 3, Remaining: 300, Weight: 1, Done: 300},
+		{ID: 4, Remaining: 50, Weight: 1, Done: 10},
+	}
+}
+
+func TestPlanMaintenanceNoAbortWhenDeadlineGenerous(t *testing.T) {
+	states := maintStates()
+	C := 10.0
+	// Total remaining 950 -> quiescent 95s; deadline 100s needs no aborts.
+	plan, err := PlanMaintenance(states, C, 100, Case1CompletedWork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Abort) != 0 || plan.Lost != 0 {
+		t.Errorf("plan: %+v", plan)
+	}
+	if !almostEq(plan.Quiescent, 95) {
+		t.Errorf("quiescent = %g", plan.Quiescent)
+	}
+}
+
+func TestPlanMaintenanceGreedyOrder(t *testing.T) {
+	states := maintStates()
+	C := 10.0
+	// Deadline 50s: kept work must be <= 500 U. Greedy ranks by loss/c:
+	// Case 1 losses/c: Q1 9.0, Q2 0.1, Q3 1.0, Q4 0.2 -> abort Q2 first
+	// (950-500=450 kept, quiescent 45 <= 50, done).
+	plan, err := PlanMaintenance(states, C, 50, Case1CompletedWork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Abort) != 1 || plan.Abort[0] != 2 {
+		t.Fatalf("abort set: %v", plan.Abort)
+	}
+	if !almostEq(plan.Lost, 50) {
+		t.Errorf("lost = %g", plan.Lost)
+	}
+	if !almostEq(plan.Quiescent, 45) {
+		t.Errorf("quiescent = %g", plan.Quiescent)
+	}
+}
+
+func TestPlanMaintenanceCase2(t *testing.T) {
+	states := maintStates()
+	C := 10.0
+	// Case 2 losses/c: Q1 10, Q2 1.1, Q3 2, Q4 1.2 -> still Q2 first.
+	plan, err := PlanMaintenance(states, C, 50, Case2TotalCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Abort) != 1 || plan.Abort[0] != 2 {
+		t.Fatalf("abort set: %v", plan.Abort)
+	}
+	if !almostEq(plan.Lost, 550) { // done 50 + remaining 500
+		t.Errorf("lost = %g", plan.Lost)
+	}
+}
+
+func TestPlanMaintenanceZeroDeadline(t *testing.T) {
+	states := maintStates()
+	plan, err := PlanMaintenance(states, 10, 0, Case1CompletedWork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything with remaining work must go.
+	if len(plan.Abort) != 4 {
+		t.Errorf("abort set: %v", plan.Abort)
+	}
+	if !almostEq(plan.Quiescent, 0) {
+		t.Errorf("quiescent = %g", plan.Quiescent)
+	}
+}
+
+func TestPlanMaintenanceSkipsFinishedQueries(t *testing.T) {
+	states := []core.QueryState{
+		{ID: 1, Remaining: 0, Weight: 1, Done: 100}, // already done: aborting is pure loss
+		{ID: 2, Remaining: 100, Weight: 1, Done: 0},
+	}
+	plan, err := PlanMaintenance(states, 10, 0, Case1CompletedWork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Abort) != 1 || plan.Abort[0] != 2 {
+		t.Errorf("abort set: %v", plan.Abort)
+	}
+}
+
+func TestPlanMaintenanceErrors(t *testing.T) {
+	if _, err := PlanMaintenance(maintStates(), 0, 10, Case1CompletedWork); err == nil {
+		t.Error("C=0 should fail")
+	}
+	if _, err := PlanMaintenance(maintStates(), 10, -1, Case1CompletedWork); err == nil {
+		t.Error("negative deadline should fail")
+	}
+	if _, err := PlanMaintenanceExact(maintStates(), 0, 10, Case1CompletedWork); err == nil {
+		t.Error("exact: C=0 should fail")
+	}
+	if _, err := PlanMaintenanceExact(make([]core.QueryState, 30), 10, 10, Case1CompletedWork); err == nil {
+		t.Error("exact: n>25 should fail")
+	}
+}
+
+// bruteForce finds the optimal plan by unpruned enumeration, as an
+// independent oracle for the branch-and-bound implementation.
+func bruteForce(states []core.QueryState, C, deadline float64, mode LostWorkMode) float64 {
+	n := len(states)
+	best := -1.0
+	for mask := 0; mask < 1<<n; mask++ {
+		kept, lost := 0.0, 0.0
+		for i, q := range states {
+			if mask&(1<<i) != 0 {
+				lost += mode.lossOf(q)
+			} else if q.Remaining > 0 {
+				kept += q.Remaining
+			}
+		}
+		if kept <= C*deadline+1e-9 && (best < 0 || lost < best) {
+			best = lost
+		}
+	}
+	return best
+}
+
+// TestExactMatchesBruteForce: branch-and-bound equals brute force on random
+// instances, for both loss modes.
+func TestExactMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		states := make([]core.QueryState, n)
+		for i := range states {
+			states[i] = core.QueryState{
+				ID:        i + 1,
+				Remaining: rng.Float64() * 100,
+				Weight:    1,
+				Done:      rng.Float64() * 100,
+			}
+		}
+		C := 10.0
+		deadline := rng.Float64() * 10
+		for _, mode := range []LostWorkMode{Case1CompletedWork, Case2TotalCost} {
+			plan, err := PlanMaintenanceExact(states, C, deadline, mode)
+			if err != nil {
+				return false
+			}
+			want := bruteForce(states, C, deadline, mode)
+			if !almostEq(plan.Lost, want) {
+				t.Logf("seed %d mode %v: got %g, brute force %g", seed, mode, plan.Lost, want)
+				return false
+			}
+			if plan.Quiescent > deadline+1e-9 {
+				t.Logf("seed %d: infeasible plan, quiescent %g > %g", seed, plan.Quiescent, deadline)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGreedyNeverBeatsExact and is feasible: greedy lost >= exact lost.
+func TestGreedyNeverBeatsExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		states := make([]core.QueryState, n)
+		for i := range states {
+			states[i] = core.QueryState{
+				ID:        i + 1,
+				Remaining: rng.Float64() * 100,
+				Weight:    1,
+				Done:      rng.Float64() * 100,
+			}
+		}
+		C := 10.0
+		deadline := rng.Float64() * 8
+		greedy, err1 := PlanMaintenance(states, C, deadline, Case2TotalCost)
+		exact, err2 := PlanMaintenanceExact(states, C, deadline, Case2TotalCost)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if greedy.Quiescent > deadline+1e-9 {
+			t.Logf("seed %d: greedy infeasible (%g > %g)", seed, greedy.Quiescent, deadline)
+			return false
+		}
+		return greedy.Lost >= exact.Lost-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLostWorkModeString(t *testing.T) {
+	if Case1CompletedWork.String() != "completed-work" || Case2TotalCost.String() != "total-cost" {
+		t.Errorf("%q / %q", Case1CompletedWork.String(), Case2TotalCost.String())
+	}
+}

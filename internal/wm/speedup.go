@@ -1,0 +1,194 @@
+// Package wm implements the paper's three workload-management problems on
+// top of the multi-query PI's stage model (Section 3): single-query speed-up
+// (§3.1), multiple-query speed-up (§3.2), and scheduled maintenance (§3.3).
+// All functions operate on core.QueryState snapshots, so they work against
+// any source of remaining-cost estimates.
+package wm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mqpi/internal/core"
+)
+
+// Victim is a query selected for blocking, with the predicted benefit in
+// seconds (how much the target's — or the others' total — remaining time
+// shrinks).
+type Victim struct {
+	ID      int
+	Benefit float64
+}
+
+// sortedStates returns runnable states sorted ascending by c_i/w_i (the
+// paper's canonical order) and the suffix weight sums W_j.
+func sortedStates(states []core.QueryState) ([]core.QueryState, []float64) {
+	active := make([]core.QueryState, 0, len(states))
+	for _, q := range states {
+		if q.Weight > 0 {
+			if q.Remaining < 0 {
+				q.Remaining = 0
+			}
+			active = append(active, q)
+		}
+	}
+	sort.SliceStable(active, func(i, j int) bool {
+		ri := active[i].Remaining / active[i].Weight
+		rj := active[j].Remaining / active[j].Weight
+		if ri != rj {
+			return ri < rj
+		}
+		return active[i].ID < active[j].ID
+	})
+	suffixW := make([]float64, len(active)+1)
+	for i := len(active) - 1; i >= 0; i-- {
+		suffixW[i] = suffixW[i+1] + active[i].Weight
+	}
+	return active, suffixW
+}
+
+// stageDurations computes t_j for the sorted states (the standard case).
+func stageDurations(sorted []core.QueryState, suffixW []float64, C float64) []float64 {
+	out := make([]float64, len(sorted))
+	prev := 0.0
+	for j, q := range sorted {
+		ratio := q.Remaining / q.Weight
+		t := (ratio - prev) * suffixW[j] / C
+		if t < 0 {
+			t = 0
+		}
+		out[j] = t
+		prev = ratio
+	}
+	return out
+}
+
+// SpeedUpSingle solves the single-query speed-up problem of §3.1: choose h
+// victim queries to block at time 0 so that the target query's remaining
+// execution time shrinks the most. Victims are returned in decreasing
+// benefit order. Blocking victim Q_m with sorted position m yields benefit
+//
+//	m after target: T_m = w_m × Σ_{j=1..i} t_j / W_j   (condition C1),
+//	m before target: T_m = c_m / C                      (condition C2),
+//
+// and blocking several victims adds their individual benefits, so the
+// optimal h victims are the h largest T_m (the paper's greedy).
+func SpeedUpSingle(states []core.QueryState, C float64, targetID int, h int) ([]Victim, error) {
+	if C <= 0 {
+		return nil, fmt.Errorf("wm: rate C must be positive")
+	}
+	if h < 1 {
+		return nil, fmt.Errorf("wm: number of victims h must be >= 1")
+	}
+	sorted, suffixW := sortedStates(states)
+	ti := -1
+	for i, q := range sorted {
+		if q.ID == targetID {
+			ti = i
+			break
+		}
+	}
+	if ti < 0 {
+		return nil, fmt.Errorf("wm: target query %d is not a runnable query", targetID)
+	}
+	if len(sorted) < 2 {
+		return nil, fmt.Errorf("wm: no candidate victims")
+	}
+	durs := stageDurations(sorted, suffixW, C)
+	// A = Σ_{j=1..i} t_j / W_j (1-based stages up to and including the
+	// target's stage).
+	A := 0.0
+	for j := 0; j <= ti; j++ {
+		if suffixW[j] > 0 {
+			A += durs[j] / suffixW[j]
+		}
+	}
+	victims := make([]Victim, 0, len(sorted)-1)
+	for m, q := range sorted {
+		if m == ti {
+			continue
+		}
+		var benefit float64
+		if m > ti {
+			benefit = q.Weight * A
+		} else {
+			benefit = q.Remaining / C
+		}
+		victims = append(victims, Victim{ID: q.ID, Benefit: benefit})
+	}
+	sort.SliceStable(victims, func(i, j int) bool {
+		if victims[i].Benefit != victims[j].Benefit {
+			return victims[i].Benefit > victims[j].Benefit
+		}
+		return victims[i].ID < victims[j].ID
+	})
+	if h > len(victims) {
+		h = len(victims)
+	}
+	return victims[:h], nil
+}
+
+// SpeedUpSingleEqualPriority is the O(n) fast path of §3.1 for the common
+// case where every query has the same priority: any query with remaining
+// cost at least the target's is optimal; otherwise the query with the
+// largest remaining cost is. A single scan suffices — no sorting, no stage
+// computation.
+func SpeedUpSingleEqualPriority(states []core.QueryState, targetID int) (Victim, error) {
+	var target *core.QueryState
+	for i := range states {
+		if states[i].ID == targetID {
+			target = &states[i]
+			break
+		}
+	}
+	if target == nil || target.Weight <= 0 {
+		return Victim{}, fmt.Errorf("wm: target query %d is not a runnable query", targetID)
+	}
+	best := -1
+	for i := range states {
+		q := &states[i]
+		if q.ID == targetID || q.Weight <= 0 {
+			continue
+		}
+		if q.Remaining >= target.Remaining {
+			return Victim{ID: q.ID, Benefit: q.Remaining}, nil
+		}
+		if best < 0 || q.Remaining > states[best].Remaining {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Victim{}, fmt.Errorf("wm: no candidate victims")
+	}
+	return Victim{ID: states[best].ID, Benefit: states[best].Remaining}, nil
+}
+
+// SpeedUpOthers solves the multiple-query speed-up problem of §3.2: choose
+// the one victim whose blocking most improves the total response time of the
+// remaining n−1 queries. Blocking sorted query m improves it by
+//
+//	R_m = w_m × Σ_{j=1..m} (n−j) × t_j / W_j.
+func SpeedUpOthers(states []core.QueryState, C float64) (Victim, error) {
+	if C <= 0 {
+		return Victim{}, fmt.Errorf("wm: rate C must be positive")
+	}
+	sorted, suffixW := sortedStates(states)
+	n := len(sorted)
+	if n < 2 {
+		return Victim{}, fmt.Errorf("wm: need at least two runnable queries")
+	}
+	durs := stageDurations(sorted, suffixW, C)
+	best := Victim{Benefit: math.Inf(-1)}
+	prefix := 0.0 // Σ_{j=1..m} (n−j) t_j / W_j
+	for m, q := range sorted {
+		if suffixW[m] > 0 {
+			prefix += float64(n-(m+1)) * durs[m] / suffixW[m]
+		}
+		r := q.Weight * prefix
+		if r > best.Benefit || (r == best.Benefit && q.ID < best.ID) {
+			best = Victim{ID: q.ID, Benefit: r}
+		}
+	}
+	return best, nil
+}
