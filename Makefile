@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test bench race vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# ci is the gate: static checks, a clean build, and the full suite under the
+# race detector (load-bearing now that the experiment harness spawns worker
+# goroutines).
+ci: vet build race

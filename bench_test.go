@@ -10,7 +10,9 @@ package mqpi_test
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"mqpi/internal/core"
 	"mqpi/internal/experiments"
@@ -169,6 +171,32 @@ func BenchmarkFigure11Maintenance(b *testing.B) {
 			b.ReportMetric(res.SingleAtTFinish, "single-UW-at-tfinish")
 			b.ReportMetric(res.MultiVsSingle, "multi-gain-vs-single")
 			b.ReportMetric(res.MultiVsLimit, "multi-excess-vs-limit")
+		}
+	}
+}
+
+// BenchmarkParallelSCQSweep runs the SCQ λ-sweep sequentially and at full
+// parallelism in each iteration and reports the wall-clock speedup of the
+// worker pool (figures are byte-identical either way; see
+// internal/experiments/parallel_test.go).
+func BenchmarkParallelSCQSweep(b *testing.B) {
+	cfg := scqBenchConfig(1)
+	for i := 0; i < b.N; i++ {
+		cfg.Parallel = 1
+		t0 := time.Now()
+		if _, err := experiments.RunSCQ(cfg); err != nil {
+			b.Fatal(err)
+		}
+		seq := time.Since(t0)
+		cfg.Parallel = 0 // GOMAXPROCS
+		t0 = time.Now()
+		if _, err := experiments.RunSCQ(cfg); err != nil {
+			b.Fatal(err)
+		}
+		par := time.Since(t0)
+		if i == 0 {
+			b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup-x")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 		}
 	}
 }

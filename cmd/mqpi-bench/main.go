@@ -3,14 +3,22 @@
 //	mqpi-bench -exp all                 # every experiment
 //	mqpi-bench -exp mcq -seed 7         # Figures 3-4
 //	mqpi-bench -exp scq -runs 100       # Figures 6-7 at full paper scale
+//	mqpi-bench -exp scq -parallel 8     # fan runs across 8 workers
+//	mqpi-bench -exp all -json > figs.jsonl
 //
 // Experiments: dataset (Table 1), mcq (Fig 3-4), naq (Fig 5), scq (Fig 6-7),
 // scq-lambda (Fig 8-9), scq-traj (Fig 10), maint (Fig 11).
+//
+// -parallel fans the independent runs of the sweep experiments across worker
+// goroutines (0 = GOMAXPROCS); figures are bit-identical at every setting.
+// -json writes each figure as one JSON object per line on stdout (headlines
+// and timings move to stderr), ready for machine consumption.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -24,12 +32,14 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: dataset|mcq|naq|scq|scq-lambda|scq-traj|maint|stages|speedup|priority|robust|mpl|all")
-		seed    = flag.Int64("seed", 1, "random seed")
-		runs    = flag.Int("runs", 0, "runs per data point (0 = experiment default)")
-		rows    = flag.Int("lineitem", 0, "lineitem row count (0 = experiment default)")
-		verbose = flag.Bool("v", false, "print timing for each experiment")
-		csvDir  = flag.String("csv", "", "also write each figure as CSV into this directory")
+		exp      = flag.String("exp", "all", "experiment: dataset|mcq|naq|scq|scq-lambda|scq-traj|maint|stages|speedup|priority|robust|mpl|all")
+		seed     = flag.Int64("seed", 1, "random seed")
+		runs     = flag.Int("runs", 0, "runs per data point (0 = experiment default)")
+		rows     = flag.Int("lineitem", 0, "lineitem row count (0 = experiment default)")
+		parallel = flag.Int("parallel", 0, "worker goroutines for independent runs (0 = GOMAXPROCS, 1 = sequential)")
+		jsonOut  = flag.Bool("json", false, "emit figures as JSON lines on stdout (headlines go to stderr)")
+		verbose  = flag.Bool("v", false, "print timing for each experiment")
+		csvDir   = flag.String("csv", "", "also write each figure as CSV into this directory")
 	)
 	flag.Parse()
 
@@ -43,6 +53,12 @@ func main() {
 		return false
 	}
 	data := workload.DataConfig{LineitemRows: *rows, Seed: *seed}
+	// In JSON mode stdout carries only machine-readable lines; human-facing
+	// headlines and diagrams move to stderr.
+	txt := io.Writer(os.Stdout)
+	if *jsonOut {
+		txt = os.Stderr
+	}
 	saveCSV := func(name string, fig *metrics.Figure) {
 		if *csvDir == "" {
 			return
@@ -57,6 +73,21 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// showFig renders a figure to the chosen sink (text table, or one JSON
+	// line named after its CSV file) and writes the CSV copy if requested.
+	showFig := func(name string, fig *metrics.Figure) error {
+		saveCSV(name, fig)
+		if *jsonOut {
+			j, err := fig.JSON()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("{\"name\":%q,\"figure\":%s}\n", name, j)
+			return nil
+		}
+		fmt.Print(fig.Render())
+		return nil
+	}
 
 	ran := 0
 	step := func(name string, f func() error) {
@@ -69,10 +100,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mqpi-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		if *verbose {
-			fmt.Fprintf(os.Stderr, "[%s took %v]\n", name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		if *jsonOut {
+			fmt.Printf("{\"name\":%q,\"seconds\":%.3f,\"parallel\":%d}\n", name, elapsed.Seconds(), *parallel)
 		}
-		fmt.Println()
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "[%s took %v]\n", name, elapsed.Round(time.Millisecond))
+		}
+		fmt.Fprintln(txt)
 	}
 
 	step("dataset", func() error {
@@ -80,7 +115,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Print(res.Render())
+		fmt.Fprint(txt, res.Render())
 		return nil
 	})
 
@@ -89,16 +124,15 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("MCQ focus query: %s (finishes at %.0fs; speed grows %.1fx)\n",
+		fmt.Fprintf(txt, "MCQ focus query: %s (finishes at %.0fs; speed grows %.1fx)\n",
 			res.FocusLabel, res.FinishTime, res.SpeedRatio)
-		fmt.Printf("relative error at time 0: single-query %.0f%%, multi-query %.0f%%\n\n",
+		fmt.Fprintf(txt, "relative error at time 0: single-query %.0f%%, multi-query %.0f%%\n\n",
 			res.ErrStartSingle*100, res.ErrStartMulti*100)
-		saveCSV("figure3", &res.Fig3)
-		saveCSV("figure4", &res.Fig4)
-		fmt.Print(res.Fig3.Render())
-		fmt.Println()
-		fmt.Print(res.Fig4.Render())
-		return nil
+		if err := showFig("figure3", &res.Fig3); err != nil {
+			return err
+		}
+		fmt.Fprintln(txt)
+		return showFig("figure4", &res.Fig4)
 	})
 
 	step("naq", func() error {
@@ -106,42 +140,38 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("NAQ events: Q2 finishes / Q3 starts at %.0fs, Q3 finishes at %.0fs, Q1 finishes at %.0fs\n",
+		fmt.Fprintf(txt, "NAQ events: Q2 finishes / Q3 starts at %.0fs, Q3 finishes at %.0fs, Q1 finishes at %.0fs\n",
 			res.Q2Finish, res.Q3Finish, res.Q1Finish)
-		fmt.Printf("relative error at time 0: single %.0f%%, multi(no queue) %.0f%%, multi(queue) %.0f%%\n\n",
+		fmt.Fprintf(txt, "relative error at time 0: single %.0f%%, multi(no queue) %.0f%%, multi(queue) %.0f%%\n\n",
 			res.ErrStartSingle*100, res.ErrStartNoQueue*100, res.ErrStartQueue*100)
-		saveCSV("figure5", &res.Fig5)
-		fmt.Print(res.Fig5.Render())
-		return nil
+		return showFig("figure5", &res.Fig5)
 	})
 
 	step("scq", func() error {
-		res, err := experiments.RunSCQ(experiments.SCQConfig{Seed: *seed, Runs: *runs, Data: data})
+		res, err := experiments.RunSCQ(experiments.SCQConfig{Seed: *seed, Runs: *runs, Data: data, Parallel: *parallel})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("SCQ: average future-query cost c̄=%.0fU, stability boundary λ*=C/c̄=%.3f\n\n",
+		fmt.Fprintf(txt, "SCQ: average future-query cost c̄=%.0fU, stability boundary λ*=C/c̄=%.3f\n\n",
 			res.CBar, res.StabilityLambda)
-		saveCSV("figure6", &res.Fig6)
-		saveCSV("figure7", &res.Fig7)
-		fmt.Print(res.Fig6.Render())
-		fmt.Println()
-		fmt.Print(res.Fig7.Render())
-		return nil
+		if err := showFig("figure6", &res.Fig6); err != nil {
+			return err
+		}
+		fmt.Fprintln(txt)
+		return showFig("figure7", &res.Fig7)
 	})
 
 	step("scq-lambda", func() error {
-		res, err := experiments.RunSCQLambdaErr(experiments.SCQConfig{Seed: *seed, Runs: *runs, Data: data})
+		res, err := experiments.RunSCQLambdaErr(experiments.SCQConfig{Seed: *seed, Runs: *runs, Data: data, Parallel: *parallel})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("SCQ λ′ sensitivity: true λ=%.3g, c̄=%.0fU\n\n", res.Lambda, res.CBar)
-		saveCSV("figure8", &res.Fig8)
-		saveCSV("figure9", &res.Fig9)
-		fmt.Print(res.Fig8.Render())
-		fmt.Println()
-		fmt.Print(res.Fig9.Render())
-		return nil
+		fmt.Fprintf(txt, "SCQ λ′ sensitivity: true λ=%.3g, c̄=%.0fU\n\n", res.Lambda, res.CBar)
+		if err := showFig("figure8", &res.Fig8); err != nil {
+			return err
+		}
+		fmt.Fprintln(txt)
+		return showFig("figure9", &res.Fig9)
 	})
 
 	step("scq-traj", func() error {
@@ -149,10 +179,8 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("SCQ trajectory: focus query finishes at %.0fs\n\n", res.FocusFinish)
-		saveCSV("figure10", &res.Fig10)
-		fmt.Print(res.Fig10.Render())
-		return nil
+		fmt.Fprintf(txt, "SCQ trajectory: focus query finishes at %.0fs\n\n", res.FocusFinish)
+		return showFig("figure10", &res.Fig10)
 	})
 
 	step("stages", func() error {
@@ -164,72 +192,70 @@ func main() {
 			{ID: 3, Remaining: 300, Weight: 1},
 			{ID: 4, Remaining: 400, Weight: 1},
 		}
-		fmt.Println("== Figure 1: sample execution of n=4 queries ==")
-		fmt.Print(core.StageDiagram(states, 100, 50))
-		fmt.Println("\n== Figure 2: same, with Q3 blocked at time 0 ==")
+		fmt.Fprintln(txt, "== Figure 1: sample execution of n=4 queries ==")
+		fmt.Fprint(txt, core.StageDiagram(states, 100, 50))
+		fmt.Fprintln(txt, "\n== Figure 2: same, with Q3 blocked at time 0 ==")
 		blocked := append([]core.QueryState(nil), states...)
 		blocked[2].Weight = 0
-		fmt.Print(core.StageDiagram(blocked, 100, 50))
+		fmt.Fprint(txt, core.StageDiagram(blocked, 100, 50))
 		return nil
 	})
 
 	step("speedup", func() error {
-		res, err := experiments.RunSpeedup(experiments.SpeedupConfig{Seed: *seed, Runs: *runs, Data: data})
+		res, err := experiments.RunSpeedup(experiments.SpeedupConfig{Seed: *seed, Runs: *runs, Data: data, Parallel: *parallel})
 		if err != nil {
 			return err
 		}
-		fmt.Println("== Extension: §3.1 victim-selection policies ==")
+		fmt.Fprintln(txt, "== Extension: §3.1 victim-selection policies ==")
 		for i, p := range res.Policies {
-			fmt.Printf("  %-28s mean target speed-up %6.1fs\n", p, res.MeanSavings[i])
+			fmt.Fprintf(txt, "  %-28s mean target speed-up %6.1fs\n", p, res.MeanSavings[i])
 		}
-		fmt.Printf("  §3.1 benefit formula |predicted-actual| = %.1fs on average\n", res.PredictedVsActual)
+		fmt.Fprintf(txt, "  §3.1 benefit formula |predicted-actual| = %.1fs on average\n", res.PredictedVsActual)
 		return nil
 	})
 
 	step("priority", func() error {
-		res, err := experiments.RunPriority(experiments.PriorityConfig{Seed: *seed, Data: data})
+		res, err := experiments.RunPriority(experiments.PriorityConfig{Seed: *seed, Runs: *runs, Data: data, Parallel: *parallel})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("== Extension: weighted priorities (Assumption 3) ==\n")
-		fmt.Printf("measured high/low speed ratio: %.2f (weights predict 3.00)\n", res.SpeedRatio)
-		fmt.Printf("mean time-0 relative error: single %.0f%%, multi %.0f%%\n\n",
+		fmt.Fprintf(txt, "== Extension: weighted priorities (Assumption 3) ==\n")
+		fmt.Fprintf(txt, "measured high/low speed ratio: %.2f (weights predict 3.00)\n", res.SpeedRatio)
+		fmt.Fprintf(txt, "mean time-0 relative error: single %.0f%%, multi %.0f%%\n\n",
 			res.ErrT0Single*100, res.ErrT0Multi*100)
-		fmt.Print(res.Fig.Render())
-		return nil
+		return showFig("priority", &res.Fig)
 	})
 
 	step("mpl", func() error {
-		res, err := experiments.RunMPLSweep(experiments.MPLSweepConfig{Seed: *seed, Runs: *runs, Data: data})
+		res, err := experiments.RunMPLSweep(experiments.MPLSweepConfig{Seed: *seed, Runs: *runs, Data: data, Parallel: *parallel})
 		if err != nil {
 			return err
 		}
-		saveCSV("mpl-sweep", &res.Fig)
-		fmt.Print(res.Fig.Render())
-		return nil
+		return showFig("mpl-sweep", &res.Fig)
 	})
 
 	step("robust", func() error {
-		res, err := experiments.RunRobustness(experiments.RobustnessConfig{Seed: *seed, Runs: *runs, Data: data})
+		res, err := experiments.RunRobustness(experiments.RobustnessConfig{Seed: *seed, Runs: *runs, Data: data, Parallel: *parallel})
 		if err != nil {
 			return err
 		}
-		fmt.Println("== Extension: Assumption 1 violated (rate varies with load) ==")
-		fmt.Printf("mean time-0 relative error: single %.0f%%, multi %.0f%%\n",
+		fmt.Fprintln(txt, "== Extension: Assumption 1 violated (rate varies with load) ==")
+		fmt.Fprintf(txt, "mean time-0 relative error: single %.0f%%, multi %.0f%%\n",
 			res.ErrSingle*100, res.ErrMulti*100)
-		fmt.Println("(the PI still assumes the constant nominal C; §4.1 predicts multi stays superior)")
-		return nil
+		fmt.Fprintln(txt, "(the PI still assumes the constant nominal C; §4.1 predicts multi stays superior)")
+		return showFig("robustness", &res.Fig)
 	})
 
 	step("maint", func() error {
-		res, err := experiments.RunMaintenance(experiments.MaintenanceConfig{Seed: *seed, Runs: *runs, Data: data})
+		res, err := experiments.RunMaintenance(experiments.MaintenanceConfig{Seed: *seed, Runs: *runs, Data: data, Parallel: *parallel})
 		if err != nil {
 			return err
 		}
-		saveCSV("figure11", &res.Fig11)
-		fmt.Print(res.Fig11.Render())
-		fmt.Printf("\nsingle-PI method at t=tfinish: UW/TW=%.2f (paper: 0.67)\n", res.SingleAtTFinish)
-		fmt.Printf("multi-PI improvement vs no-PI: %.3f, vs single-PI: %.3f, excess over limit: %.3f (t<tfinish averages)\n",
+		if err := showFig("figure11", &res.Fig11); err != nil {
+			return err
+		}
+		fmt.Fprintf(txt, "\nsingle-PI method at t=tfinish: UW/TW=%.2f (paper: 0.67)\n", res.SingleAtTFinish)
+		fmt.Fprintf(txt, "multi-PI improvement vs no-PI: %.3f, vs single-PI: %.3f, excess over limit: %.3f (t<tfinish averages)\n",
 			res.MultiVsNoPI, res.MultiVsSingle, res.MultiVsLimit)
 		return nil
 	})

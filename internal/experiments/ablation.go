@@ -45,7 +45,7 @@ func RunMCQAblation(cfg MCQConfig, optimizerOnly bool) (*AblationResult, error) 
 		if err != nil {
 			return nil, err
 		}
-		if err := prework(q, rng, 0.9); err != nil {
+		if err := prework(ds, q, rng, 0.9); err != nil {
 			return nil, err
 		}
 		queries = append(queries, q)

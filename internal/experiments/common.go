@@ -42,14 +42,43 @@ func buildPartQueryTmpl(ds *workload.Dataset, srv *sched.Server, idx, n, priorit
 // prework advances a query to a random point of its execution before time 0,
 // as the MCQ and SCQ experiments require ("each query was at a random point
 // of its execution"). The fraction is uniform in [0, maxFrac).
-func prework(q *sched.Query, rng *rand.Rand, maxFrac float64) error {
+//
+// The budget is frac × EstCost(), an optimizer estimate. If the optimizer
+// overestimates (stale statistics, say), that budget can run the query to
+// completion before the experiment even starts — and the completed run has
+// revealed the true cost, so the query is re-prepared and advanced by
+// frac × trueCost instead. A query that completes even on its true cost is an
+// error: the experiment would be measuring nothing.
+func prework(ds *workload.Dataset, q *sched.Query, rng *rand.Rand, maxFrac float64) error {
 	frac := rng.Float64() * maxFrac
 	budget := frac * q.Runner.Plan().EstCost()
 	if budget <= 0 {
 		return nil
 	}
-	_, _, err := q.Runner.Step(budget)
-	return err
+	if _, _, err := q.Runner.Step(budget); err != nil {
+		return err
+	}
+	if !q.Runner.Done() {
+		return nil
+	}
+	// Overestimated: the finished runner's work done is the true cost.
+	trueCost := q.Runner.WorkDone()
+	fresh, err := ds.DB.Prepare(q.SQL)
+	if err != nil {
+		return fmt.Errorf("experiments: re-preparing %q after prework overrun: %w", q.Label, err)
+	}
+	fresh.CollectRows = q.Runner.CollectRows
+	q.Runner = fresh
+	if budget = frac * trueCost; budget <= 0 {
+		return nil
+	}
+	if _, _, err := q.Runner.Step(budget); err != nil {
+		return err
+	}
+	if q.Runner.Done() {
+		return fmt.Errorf("experiments: prework completed %q even at fraction %.3f of its true cost %.1f U", q.Label, frac, trueCost)
+	}
+	return nil
 }
 
 // fairShare is the instantaneous model speed C×w/W for a query — the

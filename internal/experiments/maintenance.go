@@ -32,6 +32,10 @@ type MaintenanceConfig struct {
 	// Case 2 (total cost of aborted queries).
 	Case1 bool
 	Data  workload.DataConfig
+
+	// Parallel caps the worker goroutines used for independent runs:
+	// 0 = GOMAXPROCS, 1 = sequential. Output is identical at every setting.
+	Parallel int
 }
 
 func (c MaintenanceConfig) withDefaults() MaintenanceConfig {
@@ -99,10 +103,6 @@ type MaintenanceResult struct {
 // work-conserving, so post-rt finish times follow the stage model exactly).
 func RunMaintenance(cfg MaintenanceConfig) (*MaintenanceResult, error) {
 	cfg = cfg.withDefaults()
-	ds, err := workload.BuildDataset(cfg.Data)
-	if err != nil {
-		return nil, err
-	}
 	zipf, err := workload.NewZipf(cfg.ZipfA, cfg.MaxN)
 	if err != nil {
 		return nil, err
@@ -129,11 +129,23 @@ func RunMaintenance(cfg MaintenanceConfig) (*MaintenanceResult, error) {
 		mLimit:  make([]float64, len(cfg.TFracs)),
 	}
 
-	for r := 0; r < cfg.Runs; r++ {
-		rng := rand.New(rand.NewSource(cfg.Seed + 904537 + int64(r)*7919))
-		snaps, err := runMaintenanceOnce(ds, cfg, zipf, rng)
+	// One pool job per run: simulate the steady state on a private dataset
+	// and return the normalized UW/TW contribution of every (method, t) cell.
+	// The contributions are then summed strictly in run order, so the final
+	// figure matches the sequential accumulation bit for bit.
+	type maintCell struct {
+		noPI, single, multi, limit []float64 // indexed like cfg.TFracs
+	}
+	cells, err := runIndexed(cfg.Parallel, cfg.Runs, func(r int) (maintCell, error) {
+		off := 904537 + int64(r)*7919
+		dsRun, err := workload.SharedCache().HydrateSeeded(cfg.Data, datasetSeed(cfg.Seed, off))
 		if err != nil {
-			return nil, err
+			return maintCell{}, err
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + off))
+		snaps, err := runMaintenanceOnce(dsRun, cfg, zipf, rng)
+		if err != nil {
+			return maintCell{}, err
 		}
 		// tfinish: system quiescent time under no interruption = total true
 		// remaining work / C (work-conserving).
@@ -145,22 +157,40 @@ func RunMaintenance(cfg MaintenanceConfig) (*MaintenanceResult, error) {
 		}
 		tfinish := totalRem / cfg.RateC
 		if tfinish <= 0 || tw <= 0 {
-			return nil, fmt.Errorf("experiments: degenerate maintenance run (tfinish=%g, tw=%g)", tfinish, tw)
+			return maintCell{}, fmt.Errorf("experiments: degenerate maintenance run (tfinish=%g, tw=%g)", tfinish, tw)
+		}
+		cell := maintCell{
+			noPI:   make([]float64, len(cfg.TFracs)),
+			single: make([]float64, len(cfg.TFracs)),
+			multi:  make([]float64, len(cfg.TFracs)),
+			limit:  make([]float64, len(cfg.TFracs)),
 		}
 		for ti, frac := range cfg.TFracs {
 			t := frac * tfinish
-			sums[mNoPI][ti] += evalNoPI(snaps, cfg.RateC, t, mode) / tw
-			sums[mSingle][ti] += evalSinglePI(snaps, cfg.RateC, t, mode) / tw
+			cell.noPI[ti] = evalNoPI(snaps, cfg.RateC, t, mode) / tw
+			cell.single[ti] = evalSinglePI(snaps, cfg.RateC, t, mode) / tw
 			uwMulti, err := evalMultiPI(snaps, cfg.RateC, t, mode)
 			if err != nil {
-				return nil, err
+				return maintCell{}, err
 			}
-			sums[mMulti][ti] += uwMulti / tw
+			cell.multi[ti] = uwMulti / tw
 			uwLimit, err := evalLimit(snaps, cfg.RateC, t, mode)
 			if err != nil {
-				return nil, err
+				return maintCell{}, err
 			}
-			sums[mLimit][ti] += uwLimit / tw
+			cell.limit[ti] = uwLimit / tw
+		}
+		return cell, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, cell := range cells {
+		for ti := range cfg.TFracs {
+			sums[mNoPI][ti] += cell.noPI[ti]
+			sums[mSingle][ti] += cell.single[ti]
+			sums[mMulti][ti] += cell.multi[ti]
+			sums[mLimit][ti] += cell.limit[ti]
 		}
 	}
 
@@ -246,7 +276,7 @@ func runMaintenanceOnce(ds *workload.Dataset, cfg MaintenanceConfig, zipf *workl
 		}
 		// Start the initial mix at random points so early steady state is
 		// less biased toward synchronized finishes.
-		if err := prework(q, rng, 0.9); err != nil {
+		if err := prework(ds, q, rng, 0.9); err != nil {
 			return nil, err
 		}
 		srv.Submit(q)

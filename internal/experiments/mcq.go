@@ -95,7 +95,7 @@ func RunMCQ(cfg MCQConfig) (*MCQResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := prework(q, rng, 0.9); err != nil {
+		if err := prework(ds, q, rng, 0.9); err != nil {
 			return nil, err
 		}
 		queries = append(queries, q)

@@ -26,6 +26,10 @@ type MPLSweepConfig struct {
 	// MPLs are the admission limits to sweep (default 2, 4, 8, 0=unlimited).
 	MPLs []int
 	Data workload.DataConfig
+
+	// Parallel caps the worker goroutines used for independent runs:
+	// 0 = GOMAXPROCS, 1 = sequential. Output is identical at every setting.
+	Parallel int
 }
 
 func (c MPLSweepConfig) withDefaults() MPLSweepConfig {
@@ -67,10 +71,6 @@ type MPLSweepResult struct {
 // errors against the actual finish times.
 func RunMPLSweep(cfg MPLSweepConfig) (*MPLSweepResult, error) {
 	cfg = cfg.withDefaults()
-	ds, err := workload.BuildDataset(cfg.Data)
-	if err != nil {
-		return nil, err
-	}
 	zipf, err := workload.NewZipf(cfg.ZipfA, cfg.MaxN)
 	if err != nil {
 		return nil, err
@@ -86,49 +86,70 @@ func RunMPLSweep(cfg MPLSweepConfig) (*MPLSweepResult, error) {
 	sBlind := res.Fig.AddSeries("multi-query (ignoring admission queue)")
 	sAware := res.Fig.AddSeries("multi-query (considering admission queue)")
 
-	for _, mpl := range cfg.MPLs {
+	// One pool job per (MPL, run) cell; each job simulates the whole batch on
+	// a private dataset and returns the per-query errors in submission order,
+	// so aggregation below reproduces the sequential append order exactly.
+	type mplCell struct{ eS, eB, eA []float64 }
+	cells, err := runIndexed(cfg.Parallel, len(cfg.MPLs)*cfg.Runs, func(j int) (mplCell, error) {
+		mpl, r := cfg.MPLs[j/cfg.Runs], j%cfg.Runs
+		off := int64(mpl)*6977 + int64(r)*7919
+		dsRun, err := workload.SharedCache().HydrateSeeded(cfg.Data, datasetSeed(cfg.Seed, off))
+		if err != nil {
+			return mplCell{}, err
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + off))
+		srv := sched.New(sched.Config{RateC: cfg.RateC, MPL: mpl, Quantum: cfg.Quantum})
+		var queries []*sched.Query
+		for i := 1; i <= cfg.NumQueries; i++ {
+			q, err := buildPartQuery(dsRun, srv, i, zipf.Sample(rng), 0)
+			if err != nil {
+				return mplCell{}, err
+			}
+			queries = append(queries, q)
+			srv.Submit(q)
+		}
+		running := srv.StateRunning()
+		queued := srv.StateQueued()
+		single := make(map[int]float64, len(queries))
+		for _, q := range srv.Running() {
+			single[q.ID] = singleEstimate(srv, q)
+		}
+		// The single-query PI cannot see queued queries at all; it has
+		// no estimate for them (scored as the blind-worst: their own
+		// cost at full speed, the only thing a per-query estimator
+		// could say).
+		for _, q := range srv.Queued() {
+			single[q.ID] = q.Runner.EstRemaining() / cfg.RateC
+		}
+		blind := core.MultiQueryRemainingTimes(running, cfg.RateC)
+		aware := core.MultiQueryWithQueue(running, queued, mpl, cfg.RateC)
+		// Queue-blind has no prediction for queued queries either; give
+		// it the same fallback as the single PI.
+		for _, q := range srv.Queued() {
+			blind[q.ID] = single[q.ID]
+		}
+		srv.RunUntilIdle(1e9)
+		var cell mplCell
+		for _, q := range queries {
+			if q.Status == sched.StatusFailed {
+				return mplCell{}, fmt.Errorf("experiments: query %s failed: %w", q.Label, q.Err)
+			}
+			cell.eS = append(cell.eS, metrics.RelErr(single[q.ID], q.FinishTime))
+			cell.eB = append(cell.eB, metrics.RelErr(blind[q.ID], q.FinishTime))
+			cell.eA = append(cell.eA, metrics.RelErr(aware[q.ID], q.FinishTime))
+		}
+		return cell, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, mpl := range cfg.MPLs {
 		var eS, eB, eA []float64
 		for r := 0; r < cfg.Runs; r++ {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(mpl)*6977 + int64(r)*7919))
-			srv := sched.New(sched.Config{RateC: cfg.RateC, MPL: mpl, Quantum: cfg.Quantum})
-			var queries []*sched.Query
-			for i := 1; i <= cfg.NumQueries; i++ {
-				q, err := buildPartQuery(ds, srv, i, zipf.Sample(rng), 0)
-				if err != nil {
-					return nil, err
-				}
-				queries = append(queries, q)
-				srv.Submit(q)
-			}
-			running := srv.StateRunning()
-			queued := srv.StateQueued()
-			single := make(map[int]float64, len(queries))
-			for _, q := range srv.Running() {
-				single[q.ID] = singleEstimate(srv, q)
-			}
-			// The single-query PI cannot see queued queries at all; it has
-			// no estimate for them (scored as the blind-worst: their own
-			// cost at full speed, the only thing a per-query estimator
-			// could say).
-			for _, q := range srv.Queued() {
-				single[q.ID] = q.Runner.EstRemaining() / cfg.RateC
-			}
-			blind := core.MultiQueryRemainingTimes(running, cfg.RateC)
-			aware := core.MultiQueryWithQueue(running, queued, mpl, cfg.RateC)
-			// Queue-blind has no prediction for queued queries either; give
-			// it the same fallback as the single PI.
-			for _, q := range srv.Queued() {
-				blind[q.ID] = single[q.ID]
-			}
-			srv.RunUntilIdle(1e9)
-			for _, q := range queries {
-				if q.Status == sched.StatusFailed {
-					return nil, fmt.Errorf("experiments: query %s failed: %w", q.Label, q.Err)
-				}
-				eS = append(eS, metrics.RelErr(single[q.ID], q.FinishTime))
-				eB = append(eB, metrics.RelErr(blind[q.ID], q.FinishTime))
-				eA = append(eA, metrics.RelErr(aware[q.ID], q.FinishTime))
-			}
+			c := cells[mi*cfg.Runs+r]
+			eS = append(eS, c.eS...)
+			eB = append(eB, c.eB...)
+			eA = append(eA, c.eA...)
 		}
 		x := float64(mpl)
 		sSingle.Add(x, metrics.Mean(eS))

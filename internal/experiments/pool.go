@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// runIndexed executes job(0..n-1) across up to `parallel` goroutines and
+// returns the results in index order. parallel <= 0 means GOMAXPROCS;
+// parallel == 1 runs inline with no goroutines at all, preserving the exact
+// sequential execution the pre-harness code had.
+//
+// Determinism contract: jobs must be independent — a job's result may depend
+// only on its index (every run derives its dataset and rng from (cfg, i)),
+// never on shared mutable state. Under that contract the returned slice is
+// identical for every parallelism level, and callers that fold results in
+// index order reproduce the sequential figures bit for bit, including float
+// summation order.
+//
+// On error the pool stops handing out new indexes and returns the error from
+// the lowest-numbered failing job (so the reported error is also independent
+// of worker interleaving). Results from jobs that never ran are zero values.
+func runIndexed[T any](parallel, n int, job func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > n {
+		parallel = n
+	}
+	if parallel == 1 {
+		for i := 0; i < n; i++ {
+			v, err := job(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		errIdx = n
+		firstE error
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || failed.Load() {
+					return
+				}
+				v, err := job(i)
+				if err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstE = i, err
+					}
+					mu.Unlock()
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstE != nil {
+		return nil, firstE
+	}
+	return out, nil
+}
+
+// datasetSeed derives the dataset seed for run r of an experiment seeded with
+// base. The mix decorrelates it from the per-run simulation rngs (which use
+// small-multiplier formulas like base + r*7919) so a worker's dataset never
+// accidentally shares a stream with another run's event noise.
+func datasetSeed(base, r int64) int64 {
+	return (base+r)*0x9E3779B9 ^ 0x5CA1AB1E
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestRunIndexedOrder: results land at their own index for every parallelism
+// level, matching the sequential baseline exactly.
+func TestRunIndexedOrder(t *testing.T) {
+	job := func(i int) (string, error) { return fmt.Sprintf("job-%d", i*i), nil }
+	want, err := runIndexed(1, 17, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{0, 2, 3, 8, 64} {
+		got, err := runIndexed(p, 17, job)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", p, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("parallel=%d: index %d got %q want %q", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunIndexedError: a failing job surfaces its error; the lowest failing
+// index wins so the reported error does not depend on scheduling.
+func TestRunIndexedError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, p := range []int{1, 4} {
+		_, err := runIndexed(p, 20, func(i int) (int, error) {
+			if i == 3 || i == 11 {
+				return 0, fmt.Errorf("job %d: %w", i, boom)
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("parallel=%d: want boom, got %v", p, err)
+		}
+		if p == 1 && err.Error() != "job 3: boom" {
+			t.Fatalf("sequential pool should fail at first bad index, got %v", err)
+		}
+	}
+}
+
+// TestRunIndexedEmpty: n == 0 is a no-op.
+func TestRunIndexedEmpty(t *testing.T) {
+	out, err := runIndexed(4, 0, func(i int) (int, error) { t.Fatal("job ran"); return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got %v, %v", out, err)
+	}
+}

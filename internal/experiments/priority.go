@@ -17,6 +17,7 @@ import (
 // directly, so the weighted stage model can be validated end-to-end.
 type PriorityConfig struct {
 	Seed        int64
+	Runs        int     // independent workloads to average; default 1
 	PerClass    int     // queries per priority class; default 4
 	LowWeight   float64 // default 1
 	HighWeight  float64 // default 3
@@ -26,9 +27,16 @@ type PriorityConfig struct {
 	Quantum     float64 // default 0.5
 	SampleEvery float64 // default 5
 	Data        workload.DataConfig
+
+	// Parallel caps the worker goroutines used for independent runs:
+	// 0 = GOMAXPROCS, 1 = sequential. Output is identical at every setting.
+	Parallel int
 }
 
 func (c PriorityConfig) withDefaults() PriorityConfig {
+	if c.Runs <= 0 {
+		c.Runs = 1
+	}
 	if c.PerClass <= 0 {
 		c.PerClass = 4
 	}
@@ -72,17 +80,55 @@ type PriorityResult struct {
 	Fig metrics.Figure
 }
 
-// RunPriority runs a mixed-priority workload: PerClass queries at low
+// RunPriority runs mixed-priority workloads: PerClass queries at low
 // priority and PerClass at high priority, plus one same-sized probe pair to
 // measure the speed ratio. It reports how well the weighted stage model
-// predicts remaining times compared with the single-query PI.
+// predicts remaining times compared with the single-query PI. With Runs > 1
+// the scalar metrics are averaged over independent workloads (fanned across
+// the pool); the figure always shows run 0, whose workload is identical to
+// the Runs == 1 output.
 func RunPriority(cfg PriorityConfig) (*PriorityResult, error) {
 	cfg = cfg.withDefaults()
-	ds, err := workload.BuildDataset(cfg.Data)
+	results, err := runIndexed(cfg.Parallel, cfg.Runs, func(r int) (*PriorityResult, error) {
+		// Run 0 keeps the historical single-run behaviour exactly: the base
+		// dataset (generator rng stream) and the original rng seed.
+		var ds *workload.Dataset
+		var err error
+		rngSeed := cfg.Seed ^ 0x9E3779B9
+		if r == 0 {
+			ds, err = workload.BuildDataset(cfg.Data)
+		} else {
+			ds, err = workload.SharedCache().HydrateSeeded(cfg.Data, datasetSeed(cfg.Seed, int64(r)*48611))
+			rngSeed = (cfg.Seed + int64(r)*48611) ^ 0x9E3779B9
+		}
+		if err != nil {
+			return nil, err
+		}
+		return runPriorityOnce(ds, cfg, rngSeed)
+	})
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x9E3779B9))
+	res := results[0]
+	if cfg.Runs > 1 {
+		ratios := make([]float64, 0, cfg.Runs)
+		errS := make([]float64, 0, cfg.Runs)
+		errM := make([]float64, 0, cfg.Runs)
+		for _, r := range results {
+			ratios = append(ratios, r.SpeedRatio)
+			errS = append(errS, r.ErrT0Single)
+			errM = append(errM, r.ErrT0Multi)
+		}
+		res.SpeedRatio = metrics.Mean(ratios)
+		res.ErrT0Single = metrics.Mean(errS)
+		res.ErrT0Multi = metrics.Mean(errM)
+	}
+	return res, nil
+}
+
+// runPriorityOnce executes one mixed-priority workload on its own dataset.
+func runPriorityOnce(ds *workload.Dataset, cfg PriorityConfig, rngSeed int64) (*PriorityResult, error) {
+	rng := rand.New(rand.NewSource(rngSeed))
 	zipf, err := workload.NewZipf(cfg.ZipfA, cfg.MaxN)
 	if err != nil {
 		return nil, err

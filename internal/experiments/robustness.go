@@ -29,6 +29,10 @@ type RobustnessConfig struct {
 	// (30% total slowdown at high concurrency).
 	Contention float64
 	Data       workload.DataConfig
+
+	// Parallel caps the worker goroutines used for independent runs:
+	// 0 = GOMAXPROCS, 1 = sequential. Output is identical at every setting.
+	Parallel int
 }
 
 func (c RobustnessConfig) withDefaults() RobustnessConfig {
@@ -73,10 +77,6 @@ type RobustnessResult struct {
 // constant C.
 func RunRobustness(cfg RobustnessConfig) (*RobustnessResult, error) {
 	cfg = cfg.withDefaults()
-	ds, err := workload.BuildDataset(cfg.Data)
-	if err != nil {
-		return nil, err
-	}
 	zipf, err := workload.NewZipf(cfg.ZipfA, cfg.MaxN)
 	if err != nil {
 		return nil, err
@@ -92,8 +92,16 @@ func RunRobustness(cfg RobustnessConfig) (*RobustnessResult, error) {
 	multiSeries := res.Fig.AddSeries("multi-query estimate")
 	var allS, allM []float64
 
-	for r := 0; r < cfg.Runs; r++ {
-		rng := rand.New(rand.NewSource(cfg.Seed + 31337 + int64(r)*104729))
+	// One pool job per run on a private dataset; per-run means are folded
+	// into the figure and the overall averages in run order afterwards.
+	type robCell struct{ ms, mm float64 }
+	cells, err := runIndexed(cfg.Parallel, cfg.Runs, func(r int) (robCell, error) {
+		off := 31337 + int64(r)*104729
+		dsRun, err := workload.SharedCache().HydrateSeeded(cfg.Data, datasetSeed(cfg.Seed, off))
+		if err != nil {
+			return robCell{}, err
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + off))
 		rateFunc := func(runnable int) float64 {
 			if runnable < 1 {
 				runnable = 1
@@ -103,12 +111,12 @@ func RunRobustness(cfg RobustnessConfig) (*RobustnessResult, error) {
 		srv := sched.New(sched.Config{RateC: cfg.RateC, RateFunc: rateFunc, Quantum: cfg.Quantum})
 		var queries []*sched.Query
 		for i := 1; i <= cfg.NumQueries; i++ {
-			q, err := buildPartQuery(ds, srv, i, zipf.Sample(rng), 0)
+			q, err := buildPartQuery(dsRun, srv, i, zipf.Sample(rng), 0)
 			if err != nil {
-				return nil, err
+				return robCell{}, err
 			}
-			if err := prework(q, rng, 0.9); err != nil {
-				return nil, err
+			if err := prework(dsRun, q, rng, 0.9); err != nil {
+				return robCell{}, err
 			}
 			queries = append(queries, q)
 			srv.Submit(q)
@@ -123,16 +131,21 @@ func RunRobustness(cfg RobustnessConfig) (*RobustnessResult, error) {
 		var sErrs, mErrs []float64
 		for _, q := range queries {
 			if q.Status == sched.StatusFailed {
-				return nil, fmt.Errorf("experiments: query %s failed: %w", q.Label, q.Err)
+				return robCell{}, fmt.Errorf("experiments: query %s failed: %w", q.Label, q.Err)
 			}
 			sErrs = append(sErrs, metrics.RelErr(single[q.ID], q.FinishTime))
 			mErrs = append(mErrs, metrics.RelErr(multi[q.ID], q.FinishTime))
 		}
-		ms, mm := metrics.Mean(sErrs), metrics.Mean(mErrs)
-		singleSeries.Add(float64(r+1), ms)
-		multiSeries.Add(float64(r+1), mm)
-		allS = append(allS, ms)
-		allM = append(allM, mm)
+		return robCell{ms: metrics.Mean(sErrs), mm: metrics.Mean(mErrs)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, cell := range cells {
+		singleSeries.Add(float64(r+1), cell.ms)
+		multiSeries.Add(float64(r+1), cell.mm)
+		allS = append(allS, cell.ms)
+		allM = append(allM, cell.mm)
 	}
 	res.ErrSingle = metrics.Mean(allS)
 	res.ErrMulti = metrics.Mean(allM)

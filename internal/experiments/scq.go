@@ -39,6 +39,10 @@ type SCQConfig struct {
 
 	SampleEvery float64 // trajectory sampling period (Figure 10); default 2 s
 	Data        workload.DataConfig
+
+	// Parallel caps the worker goroutines used for independent runs:
+	// 0 = GOMAXPROCS, 1 = sequential. Output is identical at every setting.
+	Parallel int
 }
 
 func (c SCQConfig) withDefaults() SCQConfig {
@@ -118,7 +122,7 @@ func runSCQOnce(ds *workload.Dataset, cfg SCQConfig, lambda float64, lambdaPrime
 			return nil, err
 		}
 		created = append(created, i)
-		if err := prework(q, rng, 0.9); err != nil {
+		if err := prework(ds, q, rng, 0.9); err != nil {
 			return nil, err
 		}
 		initial = append(initial, q)
@@ -246,19 +250,39 @@ func RunSCQ(cfg SCQConfig) (*SCQResult, error) {
 	f7single := res.Fig7.AddSeries("single-query estimate")
 	f7multi := res.Fig7.AddSeries("multi-query estimate")
 
+	// Fan the (λ, run) grid across the pool. Every job hydrates a private
+	// dataset from the shared snapshot, so its part tables depend only on
+	// (cfg, li, r) — never on how many runs executed before it — and the
+	// figures are identical at every parallelism level. Aggregation below
+	// walks the cells in the exact (li, r) order the sequential loop used,
+	// preserving float summation order bit for bit.
+	type scqCell struct{ es, em errPair }
+	cells, err := runIndexed(cfg.Parallel, len(cfg.Lambdas)*cfg.Runs, func(j int) (scqCell, error) {
+		li, r := j/cfg.Runs, j%cfg.Runs
+		off := int64(li)*100003 + int64(r)*7919
+		dsRun, err := workload.SharedCache().HydrateSeeded(cfg.Data, datasetSeed(cfg.Seed, off))
+		if err != nil {
+			return scqCell{}, err
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + off))
+		run, err := runSCQOnce(dsRun, cfg, cfg.Lambdas[li], []float64{cfg.Lambdas[li]}, cbar, rng)
+		if err != nil {
+			return scqCell{}, err
+		}
+		es, em := runErrors(run, cfg.Lambdas[li])
+		return scqCell{es: es, em: em}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	for li, lambda := range cfg.Lambdas {
 		var lastS, lastM, avgS, avgM []float64
 		for r := 0; r < cfg.Runs; r++ {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(li)*100003 + int64(r)*7919))
-			run, err := runSCQOnce(ds, cfg, lambda, []float64{lambda}, cbar, rng)
-			if err != nil {
-				return nil, err
-			}
-			es, em := runErrors(run, lambda)
-			lastS = append(lastS, es.last)
-			lastM = append(lastM, em.last)
-			avgS = append(avgS, es.avg)
-			avgM = append(avgM, em.avg)
+			c := cells[li*cfg.Runs+r]
+			lastS = append(lastS, c.es.last)
+			lastM = append(lastM, c.em.last)
+			avgS = append(avgS, c.es.avg)
+			avgM = append(avgM, c.em.avg)
 		}
 		f6single.Add(lambda, metrics.Mean(lastS))
 		f6multi.Add(lambda, metrics.Mean(lastM))
@@ -342,27 +366,52 @@ func RunSCQLambdaErr(cfg SCQConfig) (*SCQLambdaErrResult, error) {
 	f9single := res.Fig9.AddSeries("single-query estimate")
 	f9multi := res.Fig9.AddSeries("multi-query estimate")
 
-	lastS := make([]float64, 0, cfg.Runs)
-	avgS := make([]float64, 0, cfg.Runs)
-	lastM := make(map[float64][]float64, len(cfg.LambdaPrimes))
-	avgM := make(map[float64][]float64, len(cfg.LambdaPrimes))
-	for r := 0; r < cfg.Runs; r++ {
-		rng := rand.New(rand.NewSource(cfg.Seed + 424243 + int64(r)*7919))
-		run, err := runSCQOnce(ds, cfg, cfg.FixedLambda, cfg.LambdaPrimes, cbar, rng)
+	// One pool job per run; each returns the single-query errors plus the
+	// multi-query errors for every λ′, aligned with cfg.LambdaPrimes.
+	type lerrCell struct {
+		lastS, avgS float64
+		multi       []errPair
+	}
+	cells, err := runIndexed(cfg.Parallel, cfg.Runs, func(r int) (lerrCell, error) {
+		off := 424243 + int64(r)*7919
+		dsRun, err := workload.SharedCache().HydrateSeeded(cfg.Data, datasetSeed(cfg.Seed, off))
 		if err != nil {
-			return nil, err
+			return lerrCell{}, err
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + off))
+		run, err := runSCQOnce(dsRun, cfg, cfg.FixedLambda, cfg.LambdaPrimes, cbar, rng)
+		if err != nil {
+			return lerrCell{}, err
 		}
 		// Single-query errors do not depend on λ′.
 		var sErrs []float64
 		for _, id := range run.ids {
 			sErrs = append(sErrs, metrics.RelErr(run.single[id], run.actual[id]))
 		}
-		lastS = append(lastS, metrics.RelErr(run.single[run.lastID], run.actual[run.lastID]))
-		avgS = append(avgS, metrics.Mean(sErrs))
+		cell := lerrCell{
+			lastS: metrics.RelErr(run.single[run.lastID], run.actual[run.lastID]),
+			avgS:  metrics.Mean(sErrs),
+			multi: make([]errPair, 0, len(cfg.LambdaPrimes)),
+		}
 		for _, lp := range cfg.LambdaPrimes {
 			_, em := runErrors(run, lp)
-			lastM[lp] = append(lastM[lp], em.last)
-			avgM[lp] = append(avgM[lp], em.avg)
+			cell.multi = append(cell.multi, em)
+		}
+		return cell, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	lastS := make([]float64, 0, cfg.Runs)
+	avgS := make([]float64, 0, cfg.Runs)
+	lastM := make(map[float64][]float64, len(cfg.LambdaPrimes))
+	avgM := make(map[float64][]float64, len(cfg.LambdaPrimes))
+	for _, cell := range cells {
+		lastS = append(lastS, cell.lastS)
+		avgS = append(avgS, cell.avgS)
+		for i, lp := range cfg.LambdaPrimes {
+			lastM[lp] = append(lastM[lp], cell.multi[i].last)
+			avgM[lp] = append(avgM[lp], cell.multi[i].avg)
 		}
 	}
 	singleLast := metrics.Mean(lastS)
@@ -418,7 +467,7 @@ func RunSCQTrajectory(cfg SCQConfig, lambdaPrimes []float64) (*SCQTrajectoryResu
 		if err != nil {
 			return nil, err
 		}
-		if err := prework(q, rng, 0.9); err != nil {
+		if err := prework(ds, q, rng, 0.9); err != nil {
 			return nil, err
 		}
 		initial = append(initial, q)

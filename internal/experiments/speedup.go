@@ -24,6 +24,10 @@ type SpeedupConfig struct {
 	RateC      float64 // default 80
 	Quantum    float64 // default 0.5
 	Data       workload.DataConfig
+
+	// Parallel caps the worker goroutines used for independent runs:
+	// 0 = GOMAXPROCS, 1 = sequential. Output is identical at every setting.
+	Parallel int
 }
 
 func (c SpeedupConfig) withDefaults() SpeedupConfig {
@@ -130,56 +134,74 @@ const targetPos = 2
 // speed-up problem across Runs deterministic scenarios.
 func RunSpeedup(cfg SpeedupConfig) (*SpeedupResult, error) {
 	cfg = cfg.withDefaults()
-	ds, err := workload.BuildDataset(cfg.Data)
-	if err != nil {
-		return nil, err
-	}
 	policies := []SpeedupPolicy{PolicyMultiPI, PolicyHeaviestConsumer, PolicyRandom}
-	sums := make(map[SpeedupPolicy]float64, len(policies))
-	var predErr []float64
 
-	for r := 0; r < cfg.Runs; r++ {
+	// One pool job per run. The four replays of a scenario (baseline + three
+	// policies) share the job's private dataset sequentially, exactly as the
+	// sequential code shared the global one within a run.
+	type spdCell struct {
+		savings []float64 // aligned with policies
+		predErr float64   // |predicted − actual| for the PI policy
+	}
+	cells, err := runIndexed(cfg.Parallel, cfg.Runs, func(r int) (spdCell, error) {
+		dsRun, err := workload.SharedCache().HydrateSeeded(cfg.Data, datasetSeed(cfg.Seed, int64(r)*65537))
+		if err != nil {
+			return spdCell{}, err
+		}
 		seed := cfg.Seed + int64(r)*65537
 		// Baseline replay: find the target and its unassisted finish time.
-		srv, queries, err := speedupScenario(ds, cfg, seed)
+		srv, queries, err := speedupScenario(dsRun, cfg, seed)
 		if err != nil {
-			return nil, err
+			return spdCell{}, err
 		}
 		srv.RunUntilIdle(1e9)
 		if queries[targetPos].Status != sched.StatusFinished {
-			return nil, fmt.Errorf("experiments: target failed: %v", queries[targetPos].Err)
+			return spdCell{}, fmt.Errorf("experiments: target failed: %v", queries[targetPos].Err)
 		}
 		baseline := queries[targetPos].FinishTime
 
+		cell := spdCell{savings: make([]float64, 0, len(policies))}
 		for _, policy := range policies {
-			srv, queries, err := speedupScenario(ds, cfg, seed)
+			srv, queries, err := speedupScenario(dsRun, cfg, seed)
 			if err != nil {
-				return nil, err
+				return spdCell{}, err
 			}
 			target := queries[targetPos]
 			victimID, predicted, err := pickVictim(policy, srv, target, seed)
 			if err != nil {
-				return nil, err
+				return spdCell{}, err
 			}
 			if err := srv.Block(victimID); err != nil {
-				return nil, err
+				return spdCell{}, err
 			}
 			for srv.Busy() && target.Status != sched.StatusFinished && target.Status != sched.StatusFailed {
 				srv.Tick()
 			}
 			if target.Status != sched.StatusFinished {
-				return nil, fmt.Errorf("experiments: target did not finish under %s: %v", policy, target.Err)
+				return spdCell{}, fmt.Errorf("experiments: target did not finish under %s: %v", policy, target.Err)
 			}
 			saving := baseline - target.FinishTime
-			sums[policy] += saving
+			cell.savings = append(cell.savings, saving)
 			if policy == PolicyMultiPI {
 				d := predicted - saving
 				if d < 0 {
 					d = -d
 				}
-				predErr = append(predErr, d)
+				cell.predErr = d
 			}
 		}
+		return cell, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sums := make(map[SpeedupPolicy]float64, len(policies))
+	var predErr []float64
+	for _, cell := range cells {
+		for i, p := range policies {
+			sums[p] += cell.savings[i]
+		}
+		predErr = append(predErr, cell.predErr)
 	}
 
 	res := &SpeedupResult{

@@ -4,9 +4,11 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -32,6 +34,43 @@ func (s *Series) YAt(x float64) float64 {
 		}
 	}
 	return math.NaN()
+}
+
+// seriesIndex is a sorted x→y lookup built once per series, replacing the
+// per-grid-point linear YAt scan that made figure rendering O(points²). It
+// preserves YAt's exact semantics — first point in insertion order within the
+// 1e-9 tolerance wins — so rendered output is unchanged.
+type seriesIndex struct {
+	pts []indexedPoint
+}
+
+type indexedPoint struct {
+	Point
+	ord int
+}
+
+func (s *Series) index() *seriesIndex {
+	ip := make([]indexedPoint, len(s.Pts))
+	for i, p := range s.Pts {
+		ip[i] = indexedPoint{Point: p, ord: i}
+	}
+	sort.SliceStable(ip, func(i, j int) bool { return ip[i].X < ip[j].X })
+	return &seriesIndex{pts: ip}
+}
+
+// yAt returns the y value at x (within tolerance), or NaN — binary search
+// plus a scan of the (tiny) tolerance band for the earliest-inserted match.
+func (ix *seriesIndex) yAt(x float64) float64 {
+	lo := sort.Search(len(ix.pts), func(i int) bool { return ix.pts[i].X >= x-1e-9 })
+	best := -1
+	y := math.NaN()
+	for i := lo; i < len(ix.pts) && ix.pts[i].X <= x+1e-9; i++ {
+		if math.Abs(ix.pts[i].X-x) < 1e-9 && (best < 0 || ix.pts[i].ord < best) {
+			best = ix.pts[i].ord
+			y = ix.pts[i].Y
+		}
+	}
+	return y
 }
 
 // Last returns the final point; ok is false for an empty series.
@@ -86,11 +125,15 @@ func (f *Figure) Render() string {
 	for _, s := range f.Series {
 		cols = append(cols, s.Name)
 	}
+	idx := make([]*seriesIndex, len(f.Series))
+	for i, s := range f.Series {
+		idx[i] = s.index()
+	}
 	rows := [][]string{cols}
 	for _, x := range f.xGrid() {
 		row := []string{formatNum(x)}
-		for _, s := range f.Series {
-			y := s.YAt(x)
+		for si := range f.Series {
+			y := idx[si].yAt(x)
 			if math.IsNaN(y) {
 				row = append(row, "-")
 			} else {
@@ -140,11 +183,15 @@ func (f *Figure) CSV() string {
 		b.WriteString(csvEscape(s.Name))
 	}
 	b.WriteByte('\n')
+	idx := make([]*seriesIndex, len(f.Series))
+	for i, s := range f.Series {
+		idx[i] = s.index()
+	}
 	for _, x := range f.xGrid() {
 		fmt.Fprintf(&b, "%g", x)
-		for _, s := range f.Series {
+		for si := range f.Series {
 			b.WriteByte(',')
-			y := s.YAt(x)
+			y := idx[si].yAt(x)
 			if !math.IsNaN(y) {
 				fmt.Fprintf(&b, "%g", y)
 			}
@@ -152,6 +199,51 @@ func (f *Figure) CSV() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// jsonNum marshals like a float64 but emits null for NaN and ±Inf, which
+// encoding/json rejects outright — figures legitimately contain +Inf relative
+// errors in unstable regimes.
+type jsonNum float64
+
+// MarshalJSON implements json.Marshaler.
+func (v jsonNum) MarshalJSON() ([]byte, error) {
+	f := float64(v)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return []byte("null"), nil
+	}
+	return []byte(strconv.FormatFloat(f, 'g', -1, 64)), nil
+}
+
+// JSON renders the figure as a single JSON object:
+//
+//	{"title":…,"xlabel":…,"ylabel":…,"series":[{"name":…,"points":[[x,y],…]},…]}
+//
+// Points are emitted per series in insertion order (no grid alignment), so
+// the output is lossless; NaN and ±Inf values become null.
+func (f *Figure) JSON() (string, error) {
+	type jsSeries struct {
+		Name   string       `json:"name"`
+		Points [][2]jsonNum `json:"points"`
+	}
+	out := struct {
+		Title  string     `json:"title"`
+		XLabel string     `json:"xlabel"`
+		YLabel string     `json:"ylabel"`
+		Series []jsSeries `json:"series"`
+	}{Title: f.Title, XLabel: f.XLabel, YLabel: f.YLabel, Series: make([]jsSeries, 0, len(f.Series))}
+	for _, s := range f.Series {
+		js := jsSeries{Name: s.Name, Points: make([][2]jsonNum, 0, len(s.Pts))}
+		for _, p := range s.Pts {
+			js.Points = append(js.Points, [2]jsonNum{jsonNum(p.X), jsonNum(p.Y)})
+		}
+		out.Series = append(out.Series, js)
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
 }
 
 func csvEscape(s string) string {

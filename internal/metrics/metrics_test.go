@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -118,5 +119,75 @@ func TestFigureCSV(t *testing.T) {
 	want := "lambda,\"single, est\",multi\n0,1.5,0.5\n0.05,2,\n"
 	if got != want {
 		t.Errorf("CSV:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestSeriesIndexMatchesYAt: the render-time index must agree with the naive
+// linear scan on every lookup, including duplicate x values (first inserted
+// wins), tolerance-band neighbors, and misses.
+func TestSeriesIndexMatchesYAt(t *testing.T) {
+	s := &Series{Name: "s"}
+	s.Add(3, 30)
+	s.Add(1, 10)
+	s.Add(1, 11) // duplicate x: YAt returns the first inserted (10)
+	s.Add(2, 20)
+	s.Add(1+5e-10, 99) // inside the tolerance band of x=1, inserted later
+	ix := s.index()
+	for _, x := range []float64{0, 1, 1 + 5e-10, 2, 2.5, 3, 1e9} {
+		want := s.YAt(x)
+		got := ix.yAt(x)
+		if math.IsNaN(want) != math.IsNaN(got) || (!math.IsNaN(want) && got != want) {
+			t.Errorf("yAt(%g) = %g, YAt = %g", x, got, want)
+		}
+	}
+}
+
+// TestFigureJSON: lossless emission, with NaN/Inf as null.
+func TestFigureJSON(t *testing.T) {
+	f := Figure{Title: "T", XLabel: "x", YLabel: "y"}
+	s := f.AddSeries("s")
+	s.Add(0, 1.5)
+	s.Add(1, math.Inf(1))
+	s.Add(2, math.NaN())
+	got, err := f.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"title":"T","xlabel":"x","ylabel":"y","series":[{"name":"s","points":[[0,1.5],[1,null],[2,null]]}]}`
+	if got != want {
+		t.Errorf("JSON:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// figure10k builds the benchmark figure: 3 series × 10k points on a shared
+// grid — the shape a long trajectory experiment produces.
+func figure10k() *Figure {
+	f := &Figure{Title: "bench", XLabel: "t"}
+	for si := 0; si < 3; si++ {
+		s := f.AddSeries(fmt.Sprintf("s%d", si))
+		for i := 0; i < 10000; i++ {
+			s.Add(float64(i)*0.5, float64(si*i))
+		}
+	}
+	return f
+}
+
+func BenchmarkFigureRender10k(b *testing.B) {
+	f := figure10k()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(f.Render()) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+func BenchmarkFigureCSV10k(b *testing.B) {
+	f := figure10k()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(f.CSV()) == 0 {
+			b.Fatal("empty csv")
+		}
 	}
 }

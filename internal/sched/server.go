@@ -352,35 +352,64 @@ func (s *Server) Tick() {
 
 	dt := s.cfg.Quantum
 	var runnable []*Query
-	W := 0.0
 	for _, q := range s.running {
 		if q.Status == StatusRunning {
 			runnable = append(runnable, q)
-			W += s.WeightOf(q.Priority)
 		}
 	}
-	if W > 0 {
+	if len(runnable) > 0 {
 		rate := s.cfg.RateC
 		if s.cfg.RateFunc != nil {
 			rate = s.cfg.RateFunc(len(runnable))
 		}
 		budget := rate * dt
-		for _, q := range runnable {
-			q.credit += budget * s.WeightOf(q.Priority) / W
-			if q.credit <= 0 {
-				continue
+		// Work-conserving weighted fair sharing: a query that finishes
+		// mid-quantum hands its surplus credit back, and the pool is
+		// redistributed among the queries still runnable until the quantum's
+		// budget is exhausted or nothing is left to run. Each pass retires at
+		// least one query from `runnable` (budget only refills when one
+		// finishes), so the loop does at most len(runnable)+1 passes.
+		for budget > 1e-9 && len(runnable) > 0 {
+			W := 0.0
+			for _, q := range runnable {
+				W += s.WeightOf(q.Priority)
 			}
-			consumed, done, err := q.Runner.Step(q.credit)
-			q.credit -= consumed
-			if done {
-				q.FinishTime = s.now + dt
-				if err != nil {
-					q.Status = StatusFailed
-					q.Err = err
-				} else {
-					q.Status = StatusFinished
+			if W <= 0 {
+				break
+			}
+			pool := budget
+			budget = 0
+			for _, q := range runnable {
+				q.credit += pool * s.WeightOf(q.Priority) / W
+				if q.credit <= 0 {
+					continue
+				}
+				consumed, done, err := q.Runner.Step(q.credit)
+				q.credit -= consumed
+				if done {
+					q.FinishTime = s.now + dt
+					if err != nil {
+						q.Status = StatusFailed
+						q.Err = err
+					} else {
+						q.Status = StatusFinished
+					}
+					// Reclaim the finisher's unconsumed share for the rest
+					// of the quantum. A finishing Step can overshoot by a
+					// tuple, so only a positive remainder is returned.
+					if q.credit > 0 {
+						budget += q.credit
+					}
+					q.credit = 0
 				}
 			}
+			active := runnable[:0]
+			for _, q := range runnable {
+				if q.Status == StatusRunning {
+					active = append(active, q)
+				}
+			}
+			runnable = active
 		}
 	}
 	s.now += dt

@@ -58,6 +58,56 @@ func TestFairSharingEqualPriorities(t *testing.T) {
 	}
 }
 
+// TestTickWorkConserving is the regression test for the quantum dropping a
+// finisher's surplus credit: when work remains, a single Tick must deliver
+// exactly rate × dt work units. Against the old Tick, q1 (3 U) received a 5 U
+// share, and its 2 U surplus vanished with it — the tick delivered only 8 of
+// the 10 U the server is rated for.
+func TestTickWorkConserving(t *testing.T) {
+	db := engine.Open()
+	srv := newServer(Config{RateC: 10, Quantum: 1})
+	q1 := srv.NewQuery("q1", "", 0, prepare(t, db, "t1", 2))  // 3 U total
+	q2 := srv.NewQuery("q2", "", 0, prepare(t, db, "t2", 40)) // 41 U total
+	srv.Submit(q1)
+	srv.Submit(q2)
+	srv.Tick()
+	if q1.Status != StatusFinished {
+		t.Fatalf("q1 should finish inside the quantum, got %v", q1.Status)
+	}
+	total := q1.Runner.WorkDone() + q2.Runner.WorkDone()
+	if total < 10-1e-6 {
+		t.Errorf("tick delivered %g U, want rate×dt = 10 (surplus credit dropped)", total)
+	}
+	if q2.Runner.WorkDone() < 7-1e-6 {
+		t.Errorf("q2 did %g U, want 7 (5 own share + q1's 2 U surplus)", q2.Runner.WorkDone())
+	}
+}
+
+// TestTickWorkConservingCascade: surplus redistribution must itself be
+// work-conserving when several queries finish in the same quantum.
+func TestTickWorkConservingCascade(t *testing.T) {
+	db := engine.Open()
+	srv := newServer(Config{RateC: 12, Quantum: 1})
+	q1 := srv.NewQuery("q1", "", 0, prepare(t, db, "t1", 1))  // 2 U
+	q2 := srv.NewQuery("q2", "", 0, prepare(t, db, "t2", 2))  // 3 U
+	q3 := srv.NewQuery("q3", "", 0, prepare(t, db, "t3", 60)) // 61 U
+	srv.Submit(q1)
+	srv.Submit(q2)
+	srv.Submit(q3)
+	srv.Tick()
+	if q1.Status != StatusFinished || q2.Status != StatusFinished {
+		t.Fatalf("q1/q2 should finish inside the quantum: %v, %v", q1.Status, q2.Status)
+	}
+	total := q1.Runner.WorkDone() + q2.Runner.WorkDone() + q3.Runner.WorkDone()
+	if total < 12-1e-6 {
+		t.Errorf("tick delivered %g U, want rate×dt = 12", total)
+	}
+	// q3 must absorb everything the finishers could not use: 12 - 2 - 3.
+	if q3.Runner.WorkDone() < 7-1e-6 {
+		t.Errorf("q3 did %g U, want 7", q3.Runner.WorkDone())
+	}
+}
+
 func TestWeightedSharing(t *testing.T) {
 	db := engine.Open()
 	srv := newServer(Config{

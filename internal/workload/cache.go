@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+
+	"mqpi/internal/engine"
+)
+
+// DatasetCache builds the base catalog (lineitem, its partkey index, and
+// statistics) for each DataConfig once, keeps the serialized snapshot in
+// memory, and hydrates cheap private copies from it. It exists for the
+// parallel experiment harness: every (seed, parameter) simulation run needs
+// its own mutable database — runs create and drop part tables — and
+// regenerating the ~120k-tuple lineitem relation per run would dwarf the
+// simulation itself. Hydration deserializes the immutable blob instead.
+//
+// The cache is safe for concurrent use; hydrated datasets are fully private
+// (own engine, own rng) and need no synchronization.
+type DatasetCache struct {
+	mu    sync.Mutex
+	blobs map[DataConfig][]byte
+}
+
+// NewDatasetCache creates an empty cache.
+func NewDatasetCache() *DatasetCache {
+	return &DatasetCache{blobs: make(map[DataConfig][]byte)}
+}
+
+// sharedCache backs BuildDataset and the experiment harness, so the same
+// base catalog is reused across experiments, runs, and workers.
+var sharedCache = NewDatasetCache()
+
+// SharedCache returns the process-wide cache used by BuildDataset.
+func SharedCache() *DatasetCache { return sharedCache }
+
+// Snapshot returns the serialized base catalog for cfg, building it on
+// first use. The returned blob is shared and must not be modified.
+func (c *DatasetCache) Snapshot(cfg DataConfig) ([]byte, error) {
+	cfg = cfg.withDefaults()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if blob, ok := c.blobs[cfg]; ok {
+		return blob, nil
+	}
+	ds, err := buildDatasetFresh(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := ds.DB.Save(&buf); err != nil {
+		return nil, err
+	}
+	blob := buf.Bytes()
+	c.blobs[cfg] = blob
+	return blob, nil
+}
+
+// hydrate loads a private database from the snapshot blob and wraps it as a
+// Dataset around the given part-table rng.
+func (c *DatasetCache) hydrate(cfg DataConfig, rng *rand.Rand) (*Dataset, error) {
+	blob, err := c.Snapshot(cfg)
+	if err != nil {
+		return nil, err
+	}
+	db, err := engine.Load(bytes.NewReader(blob))
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		DB:         db,
+		Cfg:        cfg,
+		MaxPartKey: cfg.maxPartKey(),
+		partTables: make(map[int]int),
+		rng:        rng,
+	}, nil
+}
+
+// Hydrate returns a private dataset equivalent to a from-scratch
+// BuildDataset(cfg): same relation contents, and the part-table rng replayed
+// to the exact state the generator would have left it in, so part tables
+// created afterwards are bit-identical to the uncached behaviour.
+func (c *DatasetCache) Hydrate(cfg DataConfig) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	maxKey := cfg.maxPartKey()
+	for i := 0; i < cfg.LineitemRows; i++ {
+		lineitemRow(rng, maxKey)
+	}
+	return c.hydrate(cfg, rng)
+}
+
+// HydrateSeeded returns a private dataset whose part-table randomness starts
+// from its own seed instead of continuing the base generator stream. This is
+// what the parallel harness hands each worker: run i's part tables depend
+// only on (cfg, seed_i), never on how many runs executed before it — the
+// property that makes sweep output independent of worker interleaving.
+func (c *DatasetCache) HydrateSeeded(cfg DataConfig, seed int64) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	return c.hydrate(cfg, rand.New(rand.NewSource(seed)))
+}

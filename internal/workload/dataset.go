@@ -42,34 +42,55 @@ type Dataset struct {
 	rng        *rand.Rand
 }
 
-// BuildDataset creates a fresh database with the lineitem relation
-// (partkey, quantity, extendedprice, discount), an index on partkey, and
-// fresh statistics.
+// maxPartKey returns the lineitem key range implied by the config.
+func (c DataConfig) maxPartKey() int64 {
+	maxKey := int64(c.LineitemRows / c.MatchesPerKey)
+	if maxKey < 1 {
+		maxKey = 1
+	}
+	return maxKey
+}
+
+// lineitemRow draws one lineitem row. Keeping every rng draw inside this one
+// function is what lets DatasetCache replay the generator stream without
+// rebuilding the relation: hydration calls it the same number of times a
+// fresh build would, discarding the rows.
+func lineitemRow(rng *rand.Rand, maxKey int64) types.Row {
+	partkey := rng.Int63n(maxKey) + 1
+	quantity := int64(1 + rng.Intn(50))
+	// TPC-style price: roughly proportional to quantity with noise.
+	price := float64(quantity) * (900 + 200*rng.Float64())
+	discount := float64(rng.Intn(11)) / 100
+	return types.Row{
+		types.NewInt(partkey),
+		types.NewInt(quantity),
+		types.NewFloat(price),
+		types.NewFloat(discount),
+	}
+}
+
+// BuildDataset returns a database with the lineitem relation (partkey,
+// quantity, extendedprice, discount), an index on partkey, and fresh
+// statistics. The base catalog is built at most once per DataConfig and
+// process: later calls hydrate a private copy from the shared in-memory
+// snapshot, with the generator rng replayed so the result is
+// indistinguishable from a from-scratch build.
 func BuildDataset(cfg DataConfig) (*Dataset, error) {
+	return sharedCache.Hydrate(cfg)
+}
+
+// buildDatasetFresh constructs the base catalog from scratch.
+func buildDatasetFresh(cfg DataConfig) (*Dataset, error) {
 	cfg = cfg.withDefaults()
 	db := engine.Open()
 	if _, err := db.Exec(`CREATE TABLE lineitem (partkey BIGINT, quantity BIGINT, extendedprice DOUBLE, discount DOUBLE)`); err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	maxKey := int64(cfg.LineitemRows / cfg.MatchesPerKey)
-	if maxKey < 1 {
-		maxKey = 1
-	}
+	maxKey := cfg.maxPartKey()
 	cat := db.Catalog()
 	for i := 0; i < cfg.LineitemRows; i++ {
-		partkey := rng.Int63n(maxKey) + 1
-		quantity := int64(1 + rng.Intn(50))
-		// TPC-style price: roughly proportional to quantity with noise.
-		price := float64(quantity) * (900 + 200*rng.Float64())
-		discount := float64(rng.Intn(11)) / 100
-		row := types.Row{
-			types.NewInt(partkey),
-			types.NewInt(quantity),
-			types.NewFloat(price),
-			types.NewFloat(discount),
-		}
-		if err := cat.Insert("lineitem", row); err != nil {
+		if err := cat.Insert("lineitem", lineitemRow(rng, maxKey)); err != nil {
 			return nil, err
 		}
 	}
