@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench race vet ci
+.PHONY: build test bench race vet ci serve
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,13 @@ vet:
 race:
 	$(GO) test -race ./...
 
+serve:
+	$(GO) run ./cmd/mqpi-serve -demo
+
 # ci is the gate: static checks, a clean build, and the full suite under the
 # race detector (load-bearing now that the experiment harness spawns worker
-# goroutines).
+# goroutines and the serving layer runs a live ticker against concurrent
+# clients). The service/sched/serve packages are named explicitly so a future
+# split of `race` cannot silently drop them from under the detector.
 ci: vet build race
+	$(GO) test -race ./internal/service/... ./internal/sched/... ./cmd/mqpi-serve/...

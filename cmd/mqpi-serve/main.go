@@ -1,0 +1,127 @@
+// Command mqpi-serve runs the live multi-query progress-indicator service:
+// an HTTP/JSON front end over the virtual-time scheduler, with a wall-clock
+// ticker advancing the simulation in real time (scaled by -timescale).
+//
+// Quick start:
+//
+//	mqpi-serve -addr :8080 -demo &
+//	curl -s localhost:8080/queries -d '{"sql":"select * from part_1 ...","label":"q1"}'
+//	curl -s localhost:8080/queries/1          # progress + both ETAs
+//	curl -s localhost:8080/metrics            # Prometheus scrape
+//
+// See README.md for the full endpoint list and a worked session.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mqpi/internal/engine"
+	"mqpi/internal/sched"
+	"mqpi/internal/service"
+	"mqpi/internal/workload"
+)
+
+type options struct {
+	addr      string
+	rateC     float64
+	mpl       int
+	quantum   float64
+	timeScale float64
+	tickEvery time.Duration
+	eventCap  int
+	demo      bool
+	demoRows  int
+}
+
+func parseFlags(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("mqpi-serve", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", ":8080", "HTTP listen address")
+	fs.Float64Var(&o.rateC, "rate", 10, "processing rate C, U per virtual second")
+	fs.IntVar(&o.mpl, "mpl", 0, "multi-programming limit (0 = unlimited)")
+	fs.Float64Var(&o.quantum, "quantum", 0.5, "scheduler quantum Δ, virtual seconds")
+	fs.Float64Var(&o.timeScale, "timescale", 1, "virtual seconds per wall second")
+	fs.DurationVar(&o.tickEvery, "tick", 50*time.Millisecond, "wall interval between scheduler advances")
+	fs.IntVar(&o.eventCap, "events", 128, "events retained per query")
+	fs.BoolVar(&o.demo, "demo", false, "preload the scaled-down Table 1 dataset (lineitem, part_1..3)")
+	fs.IntVar(&o.demoRows, "rows", 30000, "lineitem rows for -demo")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if o.rateC <= 0 || o.quantum <= 0 || o.timeScale <= 0 || o.tickEvery <= 0 {
+		return o, errors.New("rate, quantum, timescale, and tick must be positive")
+	}
+	return o, nil
+}
+
+// buildServer assembles the database (optionally preloaded), the session
+// manager, and the HTTP handler. It is the testable core of main.
+func buildServer(o options) (*service.Manager, http.Handler, error) {
+	var db *engine.DB
+	if o.demo {
+		ds, err := workload.BuildDataset(workload.DataConfig{LineitemRows: o.demoRows, Seed: 1})
+		if err != nil {
+			return nil, nil, fmt.Errorf("demo dataset: %w", err)
+		}
+		for i, n := range []int{50, 10, 20} {
+			if err := ds.CreatePartTable(i+1, n); err != nil {
+				return nil, nil, fmt.Errorf("demo dataset: %w", err)
+			}
+		}
+		db = ds.DB
+	} else {
+		db = engine.Open()
+	}
+	m := service.New(db, service.Config{
+		Sched:     sched.Config{RateC: o.rateC, MPL: o.mpl, Quantum: o.quantum},
+		TickEvery: o.tickEvery,
+		TimeScale: o.timeScale,
+		EventCap:  o.eventCap,
+	})
+	return m, service.NewHandler(m), nil
+}
+
+func run(args []string) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	m, handler, err := buildServer(o)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+
+	srv := &http.Server{Addr: o.addr, Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("mqpi-serve listening on %s (C=%g U/s, quantum=%gs, timescale=%g, demo=%v)",
+		o.addr, o.rateC, o.quantum, o.timeScale, o.demo)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("received %s, shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil && !errors.Is(err, flag.ErrHelp) {
+		log.Fatal(err)
+	}
+}

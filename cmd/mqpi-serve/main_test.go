@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeDemoSession stands up the full binary wiring (demo dataset, live
+// ticker) behind httptest and replays the README session: submit the paper's
+// three queries, watch progress and multi-query estimates move in real time,
+// and scrape /metrics.
+func TestServeDemoSession(t *testing.T) {
+	o, err := parseFlags([]string{
+		"-demo", "-rows", "15000", "-rate", "50",
+		"-timescale", "200", "-tick", "2ms", "-quantum", "0.25",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, handler, err := buildServer(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	if code, body := get("/healthz"); code != 200 || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+
+	// Submit Q1..Q3 over part_1..part_3.
+	ids := make([]int, 0, 3)
+	for i := 1; i <= 3; i++ {
+		sql := fmt.Sprintf(
+			"select * from part_%d p where p.retailprice*0.75 > "+
+				"(select sum(l.extendedprice)/sum(l.quantity) from lineitem l where l.partkey = p.partkey)", i)
+		payload, _ := json.Marshal(map[string]any{"sql": sql, "label": fmt.Sprintf("Q%d", i)})
+		resp, err := http.Post(ts.URL+"/queries", "application/json", strings.NewReader(string(payload)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("submit Q%d: %d %s", i, resp.StatusCode, b)
+		}
+		var v struct {
+			ID int `json:"id"`
+		}
+		if err := json.Unmarshal(b, &v); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+
+	// The wall ticker must move virtual time and work on its own.
+	type overview struct {
+		Now      float64           `json:"now"`
+		Running  []json.RawMessage `json:"running"`
+		Finished []json.RawMessage `json:"finished"`
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	var ov overview
+	for {
+		_, b := get("/queries")
+		if err := json.Unmarshal(b, &ov); err != nil {
+			t.Fatalf("overview: %v in %s", err, b)
+		}
+		if len(ov.Finished) == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queries did not finish; overview: %s", b)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ov.Now <= 0 {
+		t.Errorf("virtual clock did not advance: now=%g", ov.Now)
+	}
+
+	// Every query must report fraction 1 and a finish time.
+	for _, id := range ids {
+		_, b := get(fmt.Sprintf("/queries/%d", id))
+		var v struct {
+			Status   string  `json:"status"`
+			Fraction float64 `json:"fraction"`
+		}
+		if err := json.Unmarshal(b, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Status != "finished" || v.Fraction != 1 {
+			t.Errorf("query %d: %s", id, b)
+		}
+	}
+
+	code, b := get("/metrics")
+	if code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, want := range []string{
+		"mqpi_queries_submitted_total 3",
+		"mqpi_queries_finished_total 3",
+		"# TYPE mqpi_tick_duration_seconds histogram",
+	} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestParseFlagsRejectsBadValues(t *testing.T) {
+	for _, args := range [][]string{
+		{"-rate", "0"},
+		{"-quantum", "-1"},
+		{"-timescale", "0"},
+		{"-tick", "0s"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted", args)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+// Estimate bundles the two competing remaining-time views of one query, the
+// comparison the paper's evaluation is built around: the single-query PI's
+// t = c/s against the multi-query stage model.
+type Estimate struct {
+	// SingleQuery is the classic estimate c/s from the query's currently
+	// observed speed (+Inf when the speed is zero, e.g. blocked or queued).
+	SingleQuery float64
+	// MultiQuery is the stage-model estimate, aware of the other running
+	// queries, the admission queue, and (optionally) predicted arrivals.
+	MultiQuery float64
+}
+
+// EstimateAll computes both indicators for every admitted and queued query
+// from one consistent snapshot. speeds maps query ID to its observed
+// execution speed in U/s (missing entries mean "no observation yet", which
+// yields a +Inf single-query estimate). A non-nil arrival model switches the
+// multi-query estimate from the §2.3 queue-aware form to the §2.4
+// future-aware form.
+func EstimateAll(running, queued []QueryState, mpl int, C float64, speeds map[int]float64, am *ArrivalModel) map[int]Estimate {
+	var multi map[int]float64
+	if am != nil {
+		multi = MultiQueryWithFuture(running, queued, mpl, C, *am)
+	} else {
+		multi = MultiQueryWithQueue(running, queued, mpl, C)
+	}
+	out := make(map[int]Estimate, len(running)+len(queued))
+	add := func(states []QueryState) {
+		for _, q := range states {
+			out[q.ID] = Estimate{
+				SingleQuery: SingleQueryRemainingTime(q.Remaining, speeds[q.ID]),
+				MultiQuery:  multi[q.ID],
+			}
+		}
+	}
+	add(running)
+	add(queued)
+	return out
+}

@@ -133,3 +133,36 @@ func TestMultiQueryWithFutureAndQueueCombined(t *testing.T) {
 		t.Errorf("queued query finishes after the running one: %g <= %g", q2, queueOnly)
 	}
 }
+
+func TestEstimateAll(t *testing.T) {
+	running := []QueryState{
+		{ID: 1, Remaining: 100, Weight: 1, Done: 50},
+		{ID: 2, Remaining: 300, Weight: 1, Done: 0},
+		{ID: 3, Remaining: 80, Weight: 0, Done: 10}, // blocked
+	}
+	queued := []QueryState{{ID: 4, Remaining: 50, Weight: 1}}
+	speeds := map[int]float64{1: 50, 2: 50}
+	got := EstimateAll(running, queued, 0, 100, speeds, nil)
+	if len(got) != 4 {
+		t.Fatalf("estimates for %d queries, want 4", len(got))
+	}
+	// Single-query: c/s where observed; +Inf where not.
+	if got[1].SingleQuery != 2 {
+		t.Errorf("Q1 single = %g, want 2", got[1].SingleQuery)
+	}
+	if !math.IsInf(got[3].SingleQuery, 1) || !math.IsInf(got[4].SingleQuery, 1) {
+		t.Errorf("unobserved queries must have +Inf single-query ETA: %v, %v", got[3], got[4])
+	}
+	// Multi-query must agree with the underlying queue-aware profile.
+	multi := MultiQueryWithQueue(running, queued, 0, 100)
+	for id, e := range got {
+		if e.MultiQuery != multi[id] && !(math.IsInf(e.MultiQuery, 1) && math.IsInf(multi[id], 1)) {
+			t.Errorf("Q%d multi = %g, want %g", id, e.MultiQuery, multi[id])
+		}
+	}
+	// Future-aware variant slows everything down.
+	fut := EstimateAll(running, queued, 0, 100, speeds, &ArrivalModel{Lambda: 0.5, AvgCost: 100, AvgWeight: 1})
+	if fut[2].MultiQuery <= got[2].MultiQuery {
+		t.Errorf("future arrivals must not speed Q2 up: %g vs %g", fut[2].MultiQuery, got[2].MultiQuery)
+	}
+}

@@ -30,6 +30,9 @@ const (
 	StatusFinished
 	StatusAborted
 	StatusFailed
+	// StatusScheduled marks a query handed to ScheduleArrival that has not
+	// reached its arrival time yet.
+	StatusScheduled
 )
 
 // String renders the status.
@@ -47,6 +50,8 @@ func (s Status) String() string {
 		return "aborted"
 	case StatusFailed:
 		return "failed"
+	case StatusScheduled:
+		return "scheduled"
 	default:
 		return fmt.Sprintf("Status(%d)", uint8(s))
 	}
@@ -171,6 +176,9 @@ func (s *Server) RateC() float64 { return s.cfg.RateC }
 // MPL returns the admission limit (0 = unlimited).
 func (s *Server) MPL() int { return s.cfg.MPL }
 
+// Quantum returns the virtual-time step one Tick advances, in seconds.
+func (s *Server) Quantum() float64 { return s.cfg.Quantum }
+
 // WeightOf maps a priority to its weight (Assumption 3's weight table).
 func (s *Server) WeightOf(priority int) float64 {
 	if w, ok := s.cfg.Weights[priority]; ok {
@@ -198,14 +206,19 @@ func (s *Server) NewQuery(label, sqlText string, priority int, r *exec.Runner) *
 
 // Submit places a query in the server: it starts running immediately if an
 // MPL slot is free, otherwise it waits in the admission queue.
-func (s *Server) Submit(q *Query) {
-	q.SubmitTime = s.now
+func (s *Server) Submit(q *Query) { s.submitAt(q, s.now) }
+
+// submitAt is Submit with an explicit submission timestamp, so arrivals that
+// fall strictly inside a quantum record their true arrival time rather than
+// the enclosing tick boundary.
+func (s *Server) submitAt(q *Query, at float64) {
+	q.SubmitTime = at
 	if s.cfg.MPL > 0 && len(s.running) >= s.cfg.MPL {
 		q.Status = StatusQueued
 		s.queue = append(s.queue, q)
 		return
 	}
-	s.admit(q)
+	s.admitAt(q, at)
 }
 
 // ScheduleArrival submits the query automatically at virtual time at.
@@ -214,12 +227,15 @@ func (s *Server) ScheduleArrival(at float64, q *Query) {
 		s.Submit(q)
 		return
 	}
+	q.Status = StatusScheduled
 	heap.Push(&s.arrivals, arrival{at: at, q: q})
 }
 
-func (s *Server) admit(q *Query) {
+func (s *Server) admit(q *Query) { s.admitAt(q, s.now) }
+
+func (s *Server) admitAt(q *Query, at float64) {
 	q.Status = StatusRunning
-	q.StartTime = s.now
+	q.StartTime = at
 	s.running = append(s.running, q)
 }
 
@@ -256,6 +272,11 @@ func (s *Server) Lookup(id int) (*Query, bool) {
 			return q, true
 		}
 	}
+	for _, a := range s.arrivals {
+		if a.q.ID == id {
+			return a.q, true
+		}
+	}
 	return nil, false
 }
 
@@ -268,6 +289,10 @@ func (s *Server) Block(id int) error {
 				return fmt.Errorf("sched: query %d is %s, cannot block", id, q.Status)
 			}
 			q.Status = StatusBlocked
+			// Forfeit accrued scheduling credit: replaying it on Unblock
+			// would give the victim more (or, after an overshoot, less) than
+			// its fair share in its first quantum back.
+			q.credit = 0
 			return nil
 		}
 	}
@@ -314,6 +339,7 @@ func (s *Server) Abort(id int) error {
 		if q.ID == id {
 			q.Status = StatusAborted
 			q.FinishTime = s.now
+			q.credit = 0 // accrued credit dies with the query
 			s.running = append(s.running[:i], s.running[i+1:]...)
 			s.done = append(s.done, q)
 			s.fillSlots()
@@ -329,6 +355,16 @@ func (s *Server) Abort(id int) error {
 			return nil
 		}
 	}
+	for i, a := range s.arrivals {
+		if a.q.ID == id {
+			q := a.q
+			q.Status = StatusAborted
+			q.FinishTime = s.now
+			heap.Remove(&s.arrivals, i)
+			s.done = append(s.done, q)
+			return nil
+		}
+	}
 	return fmt.Errorf("sched: query %d is not active", id)
 }
 
@@ -340,79 +376,104 @@ func (s *Server) fillSlots() {
 	}
 }
 
-// Tick advances virtual time by one quantum: due arrivals are submitted,
-// then C×quantum work units are distributed among runnable queries in
-// proportion to their weights.
-func (s *Server) Tick() {
-	// Submit arrivals due in this quantum at its start.
-	for len(s.arrivals) > 0 && s.arrivals[0].at <= s.now+1e-12 {
-		a := heap.Pop(&s.arrivals).(arrival)
-		s.Submit(a.q)
+// distribute delivers rate×dt work units to the runnable queries in
+// proportion to their weights. It does not advance s.now (the caller does);
+// finishers are stamped with the end of the segment, s.now+dt.
+func (s *Server) distribute(dt float64) {
+	if dt <= 0 {
+		return
 	}
-
-	dt := s.cfg.Quantum
 	var runnable []*Query
 	for _, q := range s.running {
 		if q.Status == StatusRunning {
 			runnable = append(runnable, q)
 		}
 	}
-	if len(runnable) > 0 {
-		rate := s.cfg.RateC
-		if s.cfg.RateFunc != nil {
-			rate = s.cfg.RateFunc(len(runnable))
+	if len(runnable) == 0 {
+		return
+	}
+	rate := s.cfg.RateC
+	if s.cfg.RateFunc != nil {
+		rate = s.cfg.RateFunc(len(runnable))
+	}
+	budget := rate * dt
+	// Work-conserving weighted fair sharing: a query that finishes
+	// mid-segment hands its surplus credit back, and the pool is
+	// redistributed among the queries still runnable until the segment's
+	// budget is exhausted or nothing is left to run. Each pass retires at
+	// least one query from `runnable` (budget only refills when one
+	// finishes), so the loop does at most len(runnable)+1 passes.
+	for budget > 1e-9 && len(runnable) > 0 {
+		W := 0.0
+		for _, q := range runnable {
+			W += s.WeightOf(q.Priority)
 		}
-		budget := rate * dt
-		// Work-conserving weighted fair sharing: a query that finishes
-		// mid-quantum hands its surplus credit back, and the pool is
-		// redistributed among the queries still runnable until the quantum's
-		// budget is exhausted or nothing is left to run. Each pass retires at
-		// least one query from `runnable` (budget only refills when one
-		// finishes), so the loop does at most len(runnable)+1 passes.
-		for budget > 1e-9 && len(runnable) > 0 {
-			W := 0.0
-			for _, q := range runnable {
-				W += s.WeightOf(q.Priority)
+		if W <= 0 {
+			break
+		}
+		pool := budget
+		budget = 0
+		for _, q := range runnable {
+			q.credit += pool * s.WeightOf(q.Priority) / W
+			if q.credit <= 0 {
+				continue
 			}
-			if W <= 0 {
-				break
-			}
-			pool := budget
-			budget = 0
-			for _, q := range runnable {
-				q.credit += pool * s.WeightOf(q.Priority) / W
-				if q.credit <= 0 {
-					continue
+			consumed, done, err := q.Runner.Step(q.credit)
+			q.credit -= consumed
+			if done {
+				q.FinishTime = s.now + dt
+				if err != nil {
+					q.Status = StatusFailed
+					q.Err = err
+				} else {
+					q.Status = StatusFinished
 				}
-				consumed, done, err := q.Runner.Step(q.credit)
-				q.credit -= consumed
-				if done {
-					q.FinishTime = s.now + dt
-					if err != nil {
-						q.Status = StatusFailed
-						q.Err = err
-					} else {
-						q.Status = StatusFinished
-					}
-					// Reclaim the finisher's unconsumed share for the rest
-					// of the quantum. A finishing Step can overshoot by a
-					// tuple, so only a positive remainder is returned.
-					if q.credit > 0 {
-						budget += q.credit
-					}
-					q.credit = 0
+				// Reclaim the finisher's unconsumed share for the rest
+				// of the segment. A finishing Step can overshoot by a
+				// tuple, so only a positive remainder is returned.
+				if q.credit > 0 {
+					budget += q.credit
 				}
+				q.credit = 0
 			}
-			active := runnable[:0]
-			for _, q := range runnable {
-				if q.Status == StatusRunning {
-					active = append(active, q)
-				}
+		}
+		active := runnable[:0]
+		for _, q := range runnable {
+			if q.Status == StatusRunning {
+				active = append(active, q)
 			}
-			runnable = active
+		}
+		runnable = active
+	}
+}
+
+// Tick advances virtual time by one quantum: C×quantum work units are
+// distributed among runnable queries in proportion to their weights. The
+// quantum is split at arrival boundaries, so a query whose arrival time
+// falls strictly inside the quantum is submitted *at* that time and served
+// for the rest of the quantum, instead of silently losing up to one quantum
+// of service by waiting for the next Tick (and having its SubmitTime skewed
+// to the tick boundary).
+func (s *Server) Tick() {
+	end := s.now + s.cfg.Quantum
+	for {
+		// Submit arrivals due now (the heap guarantees anything left is due
+		// strictly later, so each segment makes progress).
+		for len(s.arrivals) > 0 && s.arrivals[0].at <= s.now+1e-12 {
+			a := heap.Pop(&s.arrivals).(arrival)
+			s.Submit(a.q)
+		}
+		segEnd := end
+		if len(s.arrivals) > 0 && s.arrivals[0].at < segEnd {
+			segEnd = s.arrivals[0].at
+		}
+		s.distribute(segEnd - s.now)
+		s.now = segEnd
+		if segEnd >= end-1e-12 {
+			s.now = end
+			break
 		}
 	}
-	s.now += dt
 
 	// Retire finished queries and refill MPL slots.
 	var finished []*Query
@@ -551,4 +612,93 @@ func ratioOf(st core.QueryState) float64 {
 		return math.Inf(1)
 	}
 	return st.Remaining / st.Weight
+}
+
+// QueryInfo is a value snapshot of one query. Unlike *Query — whose fields
+// the next Tick mutates — a QueryInfo is safe to retain, compare, or hand to
+// another goroutine, which is what the serving layer does.
+type QueryInfo struct {
+	ID         int
+	Label      string
+	SQL        string
+	Priority   int
+	Status     Status
+	SubmitTime float64
+	StartTime  float64
+	FinishTime float64
+	Done       float64 // e_i: work completed, in U's
+	Remaining  float64 // c_i: refined remaining-cost estimate, in U's
+	Speed      float64 // observed execution speed over the speed window, U/s
+	Weight     float64 // current scheduling weight (0 while blocked)
+	Err        string  // terminal error, if the query failed
+}
+
+// InfoOf captures a value snapshot of q under this server's weight table.
+func (s *Server) InfoOf(q *Query) QueryInfo {
+	info := QueryInfo{
+		ID:         q.ID,
+		Label:      q.Label,
+		SQL:        q.SQL,
+		Priority:   q.Priority,
+		Status:     q.Status,
+		SubmitTime: q.SubmitTime,
+		StartTime:  q.StartTime,
+		FinishTime: q.FinishTime,
+		Done:       q.Runner.WorkDone(),
+		Remaining:  q.Runner.EstRemaining(),
+		Speed:      q.ObservedSpeed(),
+	}
+	if q.Status == StatusRunning || q.Status == StatusQueued || q.Status == StatusScheduled {
+		info.Weight = s.WeightOf(q.Priority)
+	}
+	if q.Err != nil {
+		info.Err = q.Err.Error()
+	}
+	return info
+}
+
+// SnapshotQuery returns the info snapshot of the query with the given ID,
+// looking among running, queued, terminated, and scheduled queries.
+func (s *Server) SnapshotQuery(id int) (QueryInfo, bool) {
+	q, ok := s.Lookup(id)
+	if !ok {
+		return QueryInfo{}, false
+	}
+	return s.InfoOf(q), true
+}
+
+// Snapshot is a consistent value copy of the server's whole state, taken
+// between ticks.
+type Snapshot struct {
+	Now       float64
+	RateC     float64
+	MPL       int
+	Running   []QueryInfo // admitted queries (running and blocked), admission order
+	Queued    []QueryInfo // admission queue, FIFO order
+	Scheduled []QueryInfo // future arrivals, ascending arrival time
+	Done      []QueryInfo // terminated queries, termination order
+}
+
+// Snapshot captures the server state as plain values.
+func (s *Server) Snapshot() Snapshot {
+	snap := Snapshot{Now: s.now, RateC: s.cfg.RateC, MPL: s.cfg.MPL}
+	for _, q := range s.running {
+		snap.Running = append(snap.Running, s.InfoOf(q))
+	}
+	for _, q := range s.queue {
+		snap.Queued = append(snap.Queued, s.InfoOf(q))
+	}
+	if len(s.arrivals) > 0 {
+		arr := append([]arrival(nil), s.arrivals...)
+		sort.Slice(arr, func(i, j int) bool { return arr[i].at < arr[j].at })
+		for _, a := range arr {
+			info := s.InfoOf(a.q)
+			info.SubmitTime = a.at // the time it will be submitted
+			snap.Scheduled = append(snap.Scheduled, info)
+		}
+	}
+	for _, q := range s.done {
+		snap.Done = append(snap.Done, s.InfoOf(q))
+	}
+	return snap
 }

@@ -516,3 +516,101 @@ func TestQuiescentEstimateWithQueue(t *testing.T) {
 		t.Errorf("estimate %g vs actual idle %g", est, idle)
 	}
 }
+
+// TestBlockForfeitsCredit is the regression test for stale scheduling credit
+// surviving a Block: whatever credit the victim had accrued at block time
+// (an overshooting Step leaves a debt, the work-conserving pool a surplus)
+// must NOT replay on Unblock — the first quantum back delivers exactly the
+// fair share. Against the old Block, a +3 U stale credit made the victim
+// consume ~8 U of the 10 U quantum instead of its 5 U half.
+func TestBlockForfeitsCredit(t *testing.T) {
+	db := engine.Open()
+	srv := newServer(Config{RateC: 10, Quantum: 1})
+	q1 := srv.NewQuery("q1", "", 0, prepare(t, db, "t1", 200))
+	q2 := srv.NewQuery("q2", "", 0, prepare(t, db, "t2", 200))
+	srv.Submit(q1)
+	srv.Submit(q2)
+	srv.Tick()
+	for _, stale := range []float64{+3, -3} {
+		q2.credit = stale
+		if err := srv.Block(q2.ID); err != nil {
+			t.Fatal(err)
+		}
+		srv.Tick() // q1 runs alone while q2 is blocked
+		if err := srv.Unblock(q2.ID); err != nil {
+			t.Fatal(err)
+		}
+		before := q2.Runner.WorkDone()
+		srv.Tick()
+		got := q2.Runner.WorkDone() - before
+		if math.Abs(got-5) > 1 {
+			t.Errorf("stale credit %+g: first quantum after unblock delivered %g U, want ~5 (fair share)", stale, got)
+		}
+	}
+}
+
+// TestAbortForfeitsCredit: an aborted query's accrued credit must not linger
+// on the query object (nothing may ever replay it).
+func TestAbortForfeitsCredit(t *testing.T) {
+	db := engine.Open()
+	srv := newServer(Config{RateC: 10, Quantum: 1})
+	q := srv.NewQuery("q", "", 0, prepare(t, db, "t1", 50))
+	srv.Submit(q)
+	srv.Tick()
+	q.credit = 4
+	if err := srv.Abort(q.ID); err != nil {
+		t.Fatal(err)
+	}
+	if q.credit != 0 {
+		t.Errorf("aborted query keeps credit %g, want 0", q.credit)
+	}
+}
+
+// TestMidQuantumArrival is the regression test for arrivals due strictly
+// inside a quantum: an arrival at now + 0.5×Quantum must be submitted at its
+// arrival time (not the next tick boundary) and served for the remainder of
+// the quantum. The old Tick submitted it one full quantum later with a
+// skewed SubmitTime.
+func TestMidQuantumArrival(t *testing.T) {
+	db := engine.Open()
+	srv := newServer(Config{RateC: 10, Quantum: 1})
+	q := srv.NewQuery("q", "", 0, prepare(t, db, "t1", 100))
+	srv.ScheduleArrival(0.5, q)
+	if q.Status != StatusScheduled {
+		t.Fatalf("pending arrival status = %v, want scheduled", q.Status)
+	}
+	if got, ok := srv.Lookup(q.ID); !ok || got != q {
+		t.Fatal("scheduled arrivals must be discoverable via Lookup")
+	}
+	srv.Tick()
+	if q.Status != StatusRunning {
+		t.Fatalf("mid-quantum arrival not admitted within the quantum: %v", q.Status)
+	}
+	if q.SubmitTime != 0.5 || q.StartTime != 0.5 {
+		t.Errorf("submit/start = %g/%g, want 0.5/0.5 (true arrival time)", q.SubmitTime, q.StartTime)
+	}
+	// Present for half the quantum at full capacity: ~10 U/s × 0.5 s.
+	if got := q.Runner.WorkDone(); math.Abs(got-5) > 1 {
+		t.Errorf("first-quantum work = %g U, want ~5 (prorated service)", got)
+	}
+}
+
+// TestMidQuantumArrivalSharesSegment: a query already running keeps the full
+// rate until the arrival, then shares it — the arrival must not dilute the
+// part of the quantum before it existed.
+func TestMidQuantumArrivalSharesSegment(t *testing.T) {
+	db := engine.Open()
+	srv := newServer(Config{RateC: 10, Quantum: 1})
+	q1 := srv.NewQuery("q1", "", 0, prepare(t, db, "t1", 100))
+	late := srv.NewQuery("late", "", 0, prepare(t, db, "t2", 100))
+	srv.Submit(q1)
+	srv.ScheduleArrival(0.5, late)
+	srv.Tick()
+	// q1: 10 U/s alone for 0.5 s + 5 U/s shared for 0.5 s = ~7.5 U.
+	if got := q1.Runner.WorkDone(); math.Abs(got-7.5) > 1.5 {
+		t.Errorf("q1 work = %g U, want ~7.5", got)
+	}
+	if got := late.Runner.WorkDone(); math.Abs(got-2.5) > 1.5 {
+		t.Errorf("late work = %g U, want ~2.5", got)
+	}
+}

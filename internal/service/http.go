@@ -1,0 +1,289 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"mqpi/internal/wm"
+)
+
+// NewHandler exposes a Manager as an HTTP/JSON API:
+//
+//	POST /queries                     submit {"sql","label","priority","delay"}
+//	GET  /queries                     system overview (running/queued/scheduled/finished)
+//	GET  /queries/{id}                one query's progress + ETAs
+//	POST /queries/{id}/block          suspend (§3.1 victim operation)
+//	POST /queries/{id}/unblock        resume
+//	POST /queries/{id}/abort          kill (free per §3.3)
+//	POST /queries/{id}/priority       {"priority": n}
+//	GET  /diagram                     ASCII stage diagram (text/plain)
+//	GET  /plan/speedup?target=&victims=    §3.1 planner
+//	GET  /plan/speedup-others              §3.2 planner
+//	GET  /plan/maintenance?deadline=&mode=&exact=   §3.3 planner
+//	GET  /events[?id=]                bounded per-query event trace
+//	GET  /metrics                     Prometheus text exposition
+//	POST /exec                        {"sql"}: synchronous DDL/DML (data loading)
+//	POST /advance                     {"seconds"}: push virtual time forward
+//	GET  /healthz                     liveness probe
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /queries", func(w http.ResponseWriter, r *http.Request) {
+		var req SubmitRequest
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if strings.TrimSpace(req.SQL) == "" {
+			writeError(w, http.StatusBadRequest, errors.New("missing sql"))
+			return
+		}
+		view, err := m.Submit(req)
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, view)
+	})
+
+	mux.HandleFunc("GET /queries", func(w http.ResponseWriter, r *http.Request) {
+		out, err := m.Overview()
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /queries/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := pathID(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		view, err := m.Progress(id)
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	})
+
+	op := func(name string, f func(int) error) func(http.ResponseWriter, *http.Request) {
+		return func(w http.ResponseWriter, r *http.Request) {
+			id, err := pathID(r)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			if err := f(id); err != nil {
+				writeError(w, statusOf(err), err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"ok": true, "op": name, "id": id})
+		}
+	}
+	mux.HandleFunc("POST /queries/{id}/block", op("block", m.Block))
+	mux.HandleFunc("POST /queries/{id}/unblock", op("unblock", m.Unblock))
+	mux.HandleFunc("POST /queries/{id}/abort", op("abort", m.Abort))
+
+	mux.HandleFunc("POST /queries/{id}/priority", func(w http.ResponseWriter, r *http.Request) {
+		id, err := pathID(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		var req struct {
+			Priority int `json:"priority"`
+		}
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := m.SetPriority(id, req.Priority); err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "op": "priority", "id": id, "priority": req.Priority})
+	})
+
+	mux.HandleFunc("GET /diagram", func(w http.ResponseWriter, r *http.Request) {
+		width := 60
+		if s := r.URL.Query().Get("width"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 && n <= 400 {
+				width = n
+			}
+		}
+		text, err := m.Diagram(width)
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, text)
+	})
+
+	mux.HandleFunc("GET /plan/speedup", func(w http.ResponseWriter, r *http.Request) {
+		target, err := strconv.Atoi(r.URL.Query().Get("target"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, errors.New("missing or invalid target"))
+			return
+		}
+		h := 1
+		if s := r.URL.Query().Get("victims"); s != "" {
+			if h, err = strconv.Atoi(s); err != nil {
+				writeError(w, http.StatusBadRequest, errors.New("invalid victims"))
+				return
+			}
+		}
+		victims, err := m.SpeedUpSingle(target, h)
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"target": target, "victims": victims})
+	})
+
+	mux.HandleFunc("GET /plan/speedup-others", func(w http.ResponseWriter, r *http.Request) {
+		v, err := m.SpeedUpOthers()
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"victim": v})
+	})
+
+	mux.HandleFunc("GET /plan/maintenance", func(w http.ResponseWriter, r *http.Request) {
+		deadline, err := strconv.ParseFloat(r.URL.Query().Get("deadline"), 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, errors.New("missing or invalid deadline"))
+			return
+		}
+		mode := wm.Case2TotalCost
+		switch r.URL.Query().Get("mode") {
+		case "", "total-cost":
+		case "completed-work":
+			mode = wm.Case1CompletedWork
+		default:
+			writeError(w, http.StatusBadRequest, errors.New("mode must be total-cost or completed-work"))
+			return
+		}
+		exact := r.URL.Query().Get("exact") == "1"
+		plan, err := m.PlanMaintenance(deadline, mode, exact)
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"abort": plan.Abort, "lost_u": plan.Lost, "quiescent_eta": Seconds(plan.Quiescent),
+			"mode": mode.String(), "exact": exact,
+		})
+	})
+
+	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
+		id := 0
+		if s := r.URL.Query().Get("id"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, errors.New("invalid id"))
+				return
+			}
+			id = n
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"events": m.Events(id)})
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, m.Metrics().Text())
+	})
+
+	mux.HandleFunc("POST /exec", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			SQL string `json:"sql"`
+		}
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		n, err := m.Exec(req.SQL)
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"rows": n})
+	})
+
+	mux.HandleFunc("POST /advance", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Seconds float64 `json:"seconds"`
+		}
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := m.Advance(req.Seconds); err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		out, err := m.Overview()
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+
+	return mux
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func pathID(r *http.Request) (int, error) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id <= 0 {
+		return 0, errors.New("invalid query id")
+	}
+	return id, nil
+}
+
+// statusOf maps service errors to HTTP statuses: unknown IDs are 404, a
+// closed manager is 503, invalid state transitions and bad SQL are 400.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

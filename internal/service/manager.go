@@ -1,0 +1,533 @@
+// Package service turns the replay-only virtual-time simulator into a live
+// progress-indicator service — the way the paper's prototype was actually
+// consumed, with PostgreSQL clients polling estimates *while* queries ran.
+//
+// A Manager hosts one sched.Server, one engine.DB, and all derived state
+// behind a single owner goroutine. Public methods marshal a closure onto an
+// unbuffered request channel and wait for the owner to run it; a wall-clock
+// ticker feeding the same loop drives sched.Tick, bridging the virtual clock
+// to real time with a configurable time scale (an hour-long workload can
+// replay in seconds). Nothing inside the simulator needs a mutex, and every
+// value that crosses the goroutine boundary is a copy (sched.QueryInfo,
+// QueryView, Event), never a live pointer.
+//
+// On top of the session manager sits the observability layer: Prometheus
+// counters/gauges/histograms (Metrics) and a bounded per-query event trace
+// (EventLog), both safe to read from any goroutine without stalling the
+// scheduler.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"mqpi/internal/core"
+	"mqpi/internal/engine"
+	"mqpi/internal/sched"
+	"mqpi/internal/wm"
+)
+
+// ErrClosed is returned by every Manager method after Close.
+var ErrClosed = errors.New("service: manager closed")
+
+// ErrNotFound is returned when a query ID is unknown.
+var ErrNotFound = errors.New("service: unknown query")
+
+// Config configures a Manager.
+type Config struct {
+	// Sched configures the wrapped scheduler (rate C, weights, MPL, quantum).
+	Sched sched.Config
+	// TickEvery is the wall-clock interval between scheduler advances
+	// (default 50ms). A negative value disables the ticker entirely:
+	// virtual time then only moves through Advance, which is what
+	// deterministic tests and batch drivers use.
+	TickEvery time.Duration
+	// TimeScale is virtual seconds per wall second (default 1). At 600, an
+	// hour-long workload replays in six seconds of wall time.
+	TimeScale float64
+	// EventCap bounds each query's event ring (default 128).
+	EventCap int
+	// RevisionEpsilon is the minimum absolute change of a query's predicted
+	// finish time, in virtual seconds, that is recorded as an
+	// estimate_revised event (default: one quantum). The metrics histogram
+	// observes every revision regardless.
+	RevisionEpsilon float64
+	// Arrivals optionally switches the multi-query estimates to the §2.4
+	// future-aware form.
+	Arrivals *core.ArrivalModel
+}
+
+func (c Config) withDefaults() Config {
+	if c.TickEvery == 0 {
+		c.TickEvery = 50 * time.Millisecond
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 1
+	}
+	if c.EventCap <= 0 {
+		c.EventCap = 128
+	}
+	return c
+}
+
+// Manager is the goroutine-safe session manager over one scheduler and one
+// database. Create with New, stop with Close.
+type Manager struct {
+	cfg     Config
+	metrics *Metrics
+	events  *EventLog
+
+	reqs      chan func()
+	quit      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+
+	// Owner-goroutine state: only the loop goroutine may touch these.
+	db         *engine.DB
+	srv        *sched.Server
+	debt       float64             // virtual seconds owed but not yet ticked
+	lastFinish map[int]float64     // query -> last predicted absolute finish time
+	queuedSet  map[int]bool        // queries last seen in the admission queue
+	schedSet   map[int]bool        // queries still waiting as future arrivals
+}
+
+// New creates a manager over db and starts its owner goroutine.
+func New(db *engine.DB, cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:        cfg,
+		metrics:    newMetrics(),
+		events:     newEventLog(cfg.EventCap),
+		reqs:       make(chan func()),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+		db:         db,
+		srv:        sched.New(cfg.Sched),
+		lastFinish: make(map[int]float64),
+		queuedSet:  make(map[int]bool),
+		schedSet:   make(map[int]bool),
+	}
+	if m.cfg.RevisionEpsilon <= 0 {
+		m.cfg.RevisionEpsilon = m.srv.Quantum()
+	}
+	m.srv.OnFinish(m.onFinish)
+	go m.loop()
+	return m
+}
+
+// Close stops the owner goroutine, waiting for in-flight requests to drain.
+// It is idempotent; methods called after Close return ErrClosed.
+func (m *Manager) Close() {
+	m.closeOnce.Do(func() { close(m.quit) })
+	<-m.done
+}
+
+// Metrics returns the service metrics registry.
+func (m *Manager) Metrics() *Metrics { return m.metrics }
+
+// Events returns the retained event trace: one query's (oldest first), or
+// every query's merged in sequence order when id is 0.
+func (m *Manager) Events(id int) []Event {
+	if id == 0 {
+		return m.events.All()
+	}
+	return m.events.Query(id)
+}
+
+func (m *Manager) loop() {
+	var tickC <-chan time.Time
+	if m.cfg.TickEvery > 0 {
+		ticker := time.NewTicker(m.cfg.TickEvery)
+		defer ticker.Stop()
+		tickC = ticker.C
+	}
+	for {
+		select {
+		case <-m.quit:
+			// Drain requests that already rendezvoused, then release
+			// everyone else via the closed done channel.
+			for {
+				select {
+				case f := <-m.reqs:
+					f()
+				default:
+					close(m.done)
+					return
+				}
+			}
+		case f := <-m.reqs:
+			f()
+		case <-tickC:
+			m.advance(m.cfg.TickEvery.Seconds() * m.cfg.TimeScale)
+		}
+	}
+}
+
+// call runs f on the owner goroutine and waits for it to complete.
+func (m *Manager) call(f func()) error {
+	fin := make(chan struct{})
+	select {
+	case m.reqs <- func() { f(); close(fin) }:
+		<-fin
+		return nil
+	case <-m.done:
+		return ErrClosed
+	}
+}
+
+// advance accrues vsec virtual seconds of debt and ticks the scheduler while
+// at least one quantum is owed. The virtual clock freezes while the server
+// is idle (no queries, no arrivals) so a quiet service does not spin.
+func (m *Manager) advance(vsec float64) {
+	if vsec <= 0 {
+		return
+	}
+	quantum := m.srv.Quantum()
+	m.debt += vsec
+	const maxTicksPerAdvance = 100000 // backstop against a pathological time scale
+	for i := 0; m.debt >= quantum-1e-12; i++ {
+		if !m.srv.Busy() || i >= maxTicksPerAdvance {
+			m.debt = 0
+			return
+		}
+		start := time.Now()
+		m.srv.Tick()
+		m.metrics.observeTick(time.Since(start).Seconds())
+		m.debt -= quantum
+		m.afterTick()
+	}
+}
+
+// onFinish runs inside sched.Tick on the owner goroutine.
+func (m *Manager) onFinish(q *sched.Query) {
+	info := m.srv.InfoOf(q)
+	delete(m.lastFinish, info.ID)
+	if info.Status == sched.StatusFailed {
+		m.metrics.incFailed()
+		m.events.add(info.FinishTime, info.ID, EventFailed, info.Err)
+		return
+	}
+	m.metrics.incFinished()
+	m.events.add(info.FinishTime, info.ID, EventFinished,
+		fmt.Sprintf("latency %.3fs, %.1f U", info.FinishTime-info.SubmitTime, info.Done))
+}
+
+// afterTick records lifecycle transitions the tick caused (admissions,
+// scheduled arrivals entering the system) and the movement of every query's
+// predicted finish time.
+func (m *Manager) afterTick() {
+	now := m.srv.Now()
+	for _, q := range m.srv.Running() {
+		if m.queuedSet[q.ID] {
+			delete(m.queuedSet, q.ID)
+			m.events.add(now, q.ID, EventAdmitted, "")
+		}
+		if m.schedSet[q.ID] {
+			delete(m.schedSet, q.ID)
+			m.events.add(q.SubmitTime, q.ID, EventSubmitted, "scheduled arrival")
+			m.events.add(q.StartTime, q.ID, EventAdmitted, "")
+		}
+	}
+	for _, q := range m.srv.Queued() {
+		if m.schedSet[q.ID] {
+			delete(m.schedSet, q.ID)
+			m.queuedSet[q.ID] = true
+			m.events.add(q.SubmitTime, q.ID, EventSubmitted, "scheduled arrival")
+			m.events.add(q.SubmitTime, q.ID, EventQueued, "")
+		}
+	}
+	for id := range m.schedSet { // arrivals aborted before arriving
+		if q, ok := m.srv.Lookup(id); ok && q.Status != sched.StatusScheduled {
+			delete(m.schedSet, id)
+		}
+	}
+	for id, e := range m.estimates() {
+		eta := e.MultiQuery
+		if math.IsInf(eta, 1) || math.IsNaN(eta) {
+			continue
+		}
+		abs := now + eta
+		if last, ok := m.lastFinish[id]; ok {
+			rev := math.Abs(abs - last)
+			m.metrics.observeRevision(rev)
+			if rev >= m.cfg.RevisionEpsilon {
+				m.events.add(now, id, EventRevised,
+					fmt.Sprintf("predicted finish moved %+.3fs (t=%.3fs -> t=%.3fs)", abs-last, last, abs))
+			}
+		}
+		m.lastFinish[id] = abs
+	}
+	m.updateDepths()
+}
+
+func (m *Manager) updateDepths() {
+	running, blocked := 0, 0
+	for _, q := range m.srv.Running() {
+		if q.Status == sched.StatusBlocked {
+			blocked++
+		} else {
+			running++
+		}
+	}
+	m.metrics.setDepths(running, blocked, len(m.srv.Queued()), len(m.schedSet))
+}
+
+// estimates computes the estimate bundle for every admitted and queued query
+// from the current snapshot. Owner goroutine only.
+func (m *Manager) estimates() map[int]core.Estimate {
+	speeds := make(map[int]float64)
+	for _, q := range m.srv.Running() {
+		speeds[q.ID] = q.ObservedSpeed()
+	}
+	return core.EstimateAll(m.srv.StateRunning(), m.srv.StateQueued(), m.srv.MPL(), m.srv.RateC(), speeds, m.cfg.Arrivals)
+}
+
+// SubmitRequest describes one query submission.
+type SubmitRequest struct {
+	Label    string  `json:"label"`
+	SQL      string  `json:"sql"`
+	Priority int     `json:"priority"`
+	// Delay, when positive, schedules the arrival Delay virtual seconds from
+	// now instead of submitting immediately.
+	Delay float64 `json:"delay,omitempty"`
+}
+
+// Submit prepares the SQL and places the query in the scheduler (or its
+// arrival calendar). It returns the query's initial view, whose ID all other
+// operations use.
+func (m *Manager) Submit(req SubmitRequest) (QueryView, error) {
+	var view QueryView
+	var rerr error
+	err := m.call(func() {
+		r, err := m.db.Prepare(req.SQL)
+		if err != nil {
+			rerr = fmt.Errorf("prepare: %w", err)
+			return
+		}
+		r.CollectRows = false
+		q := m.srv.NewQuery(req.Label, req.SQL, req.Priority, r)
+		now := m.srv.Now()
+		m.metrics.incSubmitted()
+		if req.Delay > 0 {
+			m.srv.ScheduleArrival(now+req.Delay, q)
+			m.schedSet[q.ID] = true
+			m.events.add(now, q.ID, EventScheduled, fmt.Sprintf("arrives at t=%.3fs", now+req.Delay))
+		} else {
+			m.srv.Submit(q)
+			m.events.add(now, q.ID, EventSubmitted, "")
+			if q.Status == sched.StatusQueued {
+				m.queuedSet[q.ID] = true
+				m.events.add(now, q.ID, EventQueued, "")
+			} else {
+				m.events.add(now, q.ID, EventAdmitted, "")
+			}
+		}
+		m.updateDepths()
+		view = m.viewLocked(q.ID)
+	})
+	if err != nil {
+		return QueryView{}, err
+	}
+	return view, rerr
+}
+
+// Exec runs a DDL/DML statement to completion on the owner goroutine —
+// loading data is synchronous and unscheduled, unlike SELECT submission.
+func (m *Manager) Exec(sqlText string) (int, error) {
+	var n int
+	var rerr error
+	err := m.call(func() { n, rerr = m.db.Exec(sqlText) })
+	if err != nil {
+		return 0, err
+	}
+	return n, rerr
+}
+
+// Progress returns the live view of one query.
+func (m *Manager) Progress(id int) (QueryView, error) {
+	var view QueryView
+	var ok bool
+	err := m.call(func() {
+		if _, ok = m.srv.SnapshotQuery(id); ok {
+			view = m.viewLocked(id)
+		}
+	})
+	if err != nil {
+		return QueryView{}, err
+	}
+	if !ok {
+		return QueryView{}, ErrNotFound
+	}
+	return view, nil
+}
+
+// Overview returns the whole system's live view.
+func (m *Manager) Overview() (Overview, error) {
+	var out Overview
+	err := m.call(func() {
+		snap := m.srv.Snapshot()
+		est := m.estimates()
+		out = Overview{
+			Now:       snap.Now,
+			RateC:     snap.RateC,
+			MPL:       snap.MPL,
+			Quantum:   m.srv.Quantum(),
+			TimeScale: m.cfg.TimeScale,
+		}
+		out.QuiescentETA = Seconds(m.srv.QuiescentEstimate() - snap.Now)
+		for _, info := range snap.Running {
+			out.Running = append(out.Running, makeView(info, est[info.ID]))
+		}
+		for _, info := range snap.Queued {
+			out.Queued = append(out.Queued, makeView(info, est[info.ID]))
+		}
+		for _, info := range snap.Scheduled {
+			out.Scheduled = append(out.Scheduled, makeView(info, est[info.ID]))
+		}
+		for _, info := range snap.Done {
+			out.Finished = append(out.Finished, makeView(info, est[info.ID]))
+		}
+	})
+	return out, err
+}
+
+// Block suspends an admitted query (the §3.1 victim operation).
+func (m *Manager) Block(id int) error { return m.op(id, "block") }
+
+// Unblock resumes a blocked query.
+func (m *Manager) Unblock(id int) error { return m.op(id, "unblock") }
+
+// Abort terminates a query wherever it is.
+func (m *Manager) Abort(id int) error { return m.op(id, "abort") }
+
+func (m *Manager) op(id int, kind string) error {
+	var rerr error
+	err := m.call(func() {
+		if _, ok := m.srv.Lookup(id); !ok {
+			rerr = ErrNotFound
+			return
+		}
+		switch kind {
+		case "block":
+			if rerr = m.srv.Block(id); rerr == nil {
+				m.metrics.incBlocked()
+				m.events.add(m.srv.Now(), id, EventBlocked, "")
+			}
+		case "unblock":
+			if rerr = m.srv.Unblock(id); rerr == nil {
+				m.metrics.incUnblocked()
+				m.events.add(m.srv.Now(), id, EventUnblocked, "")
+			}
+		case "abort":
+			if rerr = m.srv.Abort(id); rerr == nil {
+				m.metrics.incAborted()
+				delete(m.lastFinish, id)
+				delete(m.queuedSet, id)
+				delete(m.schedSet, id)
+				m.events.add(m.srv.Now(), id, EventAborted, "")
+			}
+		}
+		if rerr == nil {
+			m.updateDepths()
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return rerr
+}
+
+// SetPriority changes a query's priority (the §3.1 "natural choice").
+func (m *Manager) SetPriority(id, priority int) error {
+	var rerr error
+	err := m.call(func() {
+		if _, ok := m.srv.Lookup(id); !ok {
+			rerr = ErrNotFound
+			return
+		}
+		if rerr = m.srv.SetPriority(id, priority); rerr == nil {
+			m.events.add(m.srv.Now(), id, EventPriority, fmt.Sprintf("priority=%d", priority))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return rerr
+}
+
+// Advance synchronously advances virtual time by vsec seconds (in quantum
+// steps), independent of the wall-clock ticker. Deterministic tests and
+// batch drivers use it; with TickEvery < 0 it is the only clock source.
+func (m *Manager) Advance(vsec float64) error {
+	if vsec <= 0 || math.IsNaN(vsec) || vsec > 1e9 {
+		return fmt.Errorf("service: advance of %g seconds out of range", vsec)
+	}
+	return m.call(func() { m.advance(vsec) })
+}
+
+// Diagram renders the §2.2 stage diagram of the currently admitted queries.
+func (m *Manager) Diagram(width int) (string, error) {
+	var s string
+	err := m.call(func() {
+		s = core.StageDiagram(m.srv.StateRunning(), m.srv.RateC(), width)
+	})
+	return s, err
+}
+
+// SpeedUpSingle runs the §3.1 planner: the h best victims to block so that
+// the target query speeds up the most.
+func (m *Manager) SpeedUpSingle(targetID, h int) ([]wm.Victim, error) {
+	var victims []wm.Victim
+	var rerr error
+	err := m.call(func() {
+		victims, rerr = wm.SpeedUpSingle(m.srv.StateRunning(), m.srv.RateC(), targetID, h)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return victims, rerr
+}
+
+// SpeedUpOthers runs the §3.2 planner: the single victim whose blocking most
+// improves everyone else's total response time.
+func (m *Manager) SpeedUpOthers() (wm.Victim, error) {
+	var v wm.Victim
+	var rerr error
+	err := m.call(func() {
+		v, rerr = wm.SpeedUpOthers(m.srv.StateRunning(), m.srv.RateC())
+	})
+	if err != nil {
+		return wm.Victim{}, err
+	}
+	return v, rerr
+}
+
+// PlanMaintenance runs the §3.3 planner: which queries to abort now so the
+// rest finish within deadline seconds. exact switches from the greedy
+// knapsack to the branch-and-bound optimum (n ≤ 25).
+func (m *Manager) PlanMaintenance(deadline float64, mode wm.LostWorkMode, exact bool) (wm.MaintenancePlan, error) {
+	var plan wm.MaintenancePlan
+	var rerr error
+	err := m.call(func() {
+		states := m.srv.StateRunning()
+		if exact {
+			plan, rerr = wm.PlanMaintenanceExact(states, m.srv.RateC(), deadline, mode)
+		} else {
+			plan, rerr = wm.PlanMaintenance(states, m.srv.RateC(), deadline, mode)
+		}
+	})
+	if err != nil {
+		return wm.MaintenancePlan{}, err
+	}
+	return plan, rerr
+}
+
+// viewLocked builds the client view of one query. Owner goroutine only.
+func (m *Manager) viewLocked(id int) QueryView {
+	info, _ := m.srv.SnapshotQuery(id)
+	est := m.estimates()
+	return makeView(info, est[info.ID])
+}

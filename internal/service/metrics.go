@@ -1,0 +1,135 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// histogram is a fixed-bucket histogram in the Prometheus style: counts[i]
+// counts observations ≤ bounds[i], the final slot is the +Inf overflow.
+type histogram struct {
+	bounds []float64
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+func newHistogram(bounds ...float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.sum += v
+	h.count++
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Metrics is the service's observability state, rendered in the Prometheus
+// text exposition format by Text. All methods are safe for concurrent use.
+type Metrics struct {
+	mu sync.Mutex
+
+	submitted uint64
+	finished  uint64
+	failed    uint64
+	aborted   uint64
+	blocked   uint64
+	unblocked uint64
+
+	runningDepth   int
+	blockedDepth   int
+	queuedDepth    int
+	scheduledDepth int
+
+	tickDur  *histogram // wall seconds per scheduler tick
+	revision *histogram // |Δ predicted finish| per tick, virtual seconds
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		tickDur:  newHistogram(1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1),
+		revision: newHistogram(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 300),
+	}
+}
+
+func (m *Metrics) incSubmitted() { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
+func (m *Metrics) incFinished()  { m.mu.Lock(); m.finished++; m.mu.Unlock() }
+func (m *Metrics) incFailed()    { m.mu.Lock(); m.failed++; m.mu.Unlock() }
+func (m *Metrics) incAborted()   { m.mu.Lock(); m.aborted++; m.mu.Unlock() }
+func (m *Metrics) incBlocked()   { m.mu.Lock(); m.blocked++; m.mu.Unlock() }
+func (m *Metrics) incUnblocked() { m.mu.Lock(); m.unblocked++; m.mu.Unlock() }
+
+func (m *Metrics) observeTick(seconds float64) {
+	m.mu.Lock()
+	m.tickDur.observe(seconds)
+	m.mu.Unlock()
+}
+
+func (m *Metrics) observeRevision(seconds float64) {
+	m.mu.Lock()
+	m.revision.observe(seconds)
+	m.mu.Unlock()
+}
+
+func (m *Metrics) setDepths(running, blocked, queued, scheduled int) {
+	m.mu.Lock()
+	m.runningDepth, m.blockedDepth, m.queuedDepth, m.scheduledDepth = running, blocked, queued, scheduled
+	m.mu.Unlock()
+}
+
+func fmtFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeScalar(b *strings.Builder, name, typ, help string, v float64) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", name, help, name, typ, name, fmtFloat(v))
+}
+
+func writeHistogram(b *strings.Builder, name, help string, h *histogram) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(b, "%s_bucket{le=\"%s\"} %d\n", name, fmtFloat(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(b, "%s_sum %s\n", name, fmtFloat(h.sum))
+	fmt.Fprintf(b, "%s_count %d\n", name, h.count)
+}
+
+// Text renders the metrics in the Prometheus text exposition format
+// (version 0.0.4), ready to be scraped from /metrics.
+func (m *Metrics) Text() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+	writeScalar(&b, "mqpi_queries_submitted_total", "counter", "Queries accepted for execution (immediate or scheduled).", float64(m.submitted))
+	writeScalar(&b, "mqpi_queries_finished_total", "counter", "Queries that completed successfully.", float64(m.finished))
+	writeScalar(&b, "mqpi_queries_failed_total", "counter", "Queries terminated by an execution error.", float64(m.failed))
+	writeScalar(&b, "mqpi_queries_aborted_total", "counter", "Queries killed by a client or a planner.", float64(m.aborted))
+	writeScalar(&b, "mqpi_queries_blocked_total", "counter", "Block operations applied.", float64(m.blocked))
+	writeScalar(&b, "mqpi_queries_unblocked_total", "counter", "Unblock operations applied.", float64(m.unblocked))
+	writeScalar(&b, "mqpi_queries_running", "gauge", "Admitted queries currently receiving capacity.", float64(m.runningDepth))
+	writeScalar(&b, "mqpi_queries_blocked", "gauge", "Admitted queries currently blocked.", float64(m.blockedDepth))
+	writeScalar(&b, "mqpi_queries_queued", "gauge", "Admission-queue depth.", float64(m.queuedDepth))
+	writeScalar(&b, "mqpi_queries_scheduled", "gauge", "Future arrivals not yet submitted.", float64(m.scheduledDepth))
+	writeHistogram(&b, "mqpi_tick_duration_seconds", "Wall-clock duration of one scheduler tick.", m.tickDur)
+	writeHistogram(&b, "mqpi_estimate_revision_seconds", "Per-tick change of a query's predicted finish time, in virtual seconds.", m.revision)
+	return b.String()
+}

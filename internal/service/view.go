@@ -1,0 +1,94 @@
+package service
+
+import (
+	"encoding/json"
+	"math"
+
+	"mqpi/internal/core"
+	"mqpi/internal/sched"
+)
+
+// Seconds is a duration in (virtual) seconds that marshals non-finite
+// values as JSON null instead of breaking the encoder.
+type Seconds float64
+
+// MarshalJSON renders NaN and ±Inf as null.
+func (s Seconds) MarshalJSON() ([]byte, error) {
+	f := float64(s)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(f)
+}
+
+// QueryView is the client-facing snapshot of one query: identity, lifecycle
+// timestamps, work accounting, and the two competing remaining-time
+// estimates. All times are in virtual seconds.
+type QueryView struct {
+	ID         int     `json:"id"`
+	Label      string  `json:"label,omitempty"`
+	SQL        string  `json:"sql,omitempty"`
+	Priority   int     `json:"priority"`
+	Status     string  `json:"status"`
+	SubmitTime float64 `json:"submit_time"`
+	StartTime  float64 `json:"start_time"`
+	FinishTime float64 `json:"finish_time"`
+	Done       float64 `json:"done_u"`      // e_i: work completed, in U's
+	Remaining  float64 `json:"remaining_u"` // c_i: refined remaining cost, in U's
+	Fraction   float64 `json:"fraction"`    // done/(done+remaining), in [0, 1]
+	Speed      float64 `json:"speed_ups"`   // observed speed, U/s
+	Weight     float64 `json:"weight"`
+	SingleETA  Seconds `json:"single_query_eta"` // t = c/s (null if unobservable)
+	MultiETA   Seconds `json:"multi_query_eta"`  // stage-model estimate
+	Err        string  `json:"error,omitempty"`
+}
+
+// Overview is the whole system's live view.
+type Overview struct {
+	Now          float64     `json:"now"` // virtual clock, seconds
+	RateC        float64     `json:"rate_c"`
+	MPL          int         `json:"mpl"`
+	Quantum      float64     `json:"quantum"`
+	TimeScale    float64     `json:"time_scale"`
+	QuiescentETA Seconds     `json:"quiescent_eta"` // until ALL known work drains
+	Running      []QueryView `json:"running"`
+	Queued       []QueryView `json:"queued"`
+	Scheduled    []QueryView `json:"scheduled"`
+	Finished     []QueryView `json:"finished"`
+}
+
+func makeView(info sched.QueryInfo, est core.Estimate) QueryView {
+	v := QueryView{
+		ID:         info.ID,
+		Label:      info.Label,
+		SQL:        info.SQL,
+		Priority:   info.Priority,
+		Status:     info.Status.String(),
+		SubmitTime: info.SubmitTime,
+		StartTime:  info.StartTime,
+		FinishTime: info.FinishTime,
+		Done:       info.Done,
+		Remaining:  info.Remaining,
+		Speed:      info.Speed,
+		Weight:     info.Weight,
+		Err:        info.Err,
+	}
+	if total := info.Done + info.Remaining; total > 0 {
+		v.Fraction = info.Done / total
+	}
+	switch info.Status {
+	case sched.StatusFinished:
+		v.Fraction = 1
+		v.SingleETA, v.MultiETA = 0, 0
+	case sched.StatusAborted, sched.StatusFailed:
+		v.SingleETA, v.MultiETA = 0, 0
+	case sched.StatusScheduled:
+		// Not in the system yet: no meaningful estimate.
+		v.SingleETA = Seconds(math.Inf(1))
+		v.MultiETA = Seconds(math.Inf(1))
+	default:
+		v.SingleETA = Seconds(est.SingleQuery)
+		v.MultiETA = Seconds(est.MultiQuery)
+	}
+	return v
+}
