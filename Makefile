@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench race vet ci serve
+.PHONY: build test bench bench-all race vet ci serve
 
 build:
 	$(GO) build ./...
@@ -8,7 +8,11 @@ build:
 test:
 	$(GO) test ./...
 
+# bench tracks the poll-path baseline committed in BENCH_pollpath.json.
 bench:
+	$(GO) test -run '^$$' -bench ConcurrentPoll -benchmem ./internal/service/
+
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 vet:

@@ -119,6 +119,13 @@ func TestServeDemoSession(t *testing.T) {
 		"mqpi_queries_submitted_total 3",
 		"mqpi_queries_finished_total 3",
 		"# TYPE mqpi_tick_duration_seconds histogram",
+		// Read-path observability must be wired through the binary: the
+		// snapshot gauges only render when the Manager connects them, and
+		// the polls above must flow through the epoch cache + histogram.
+		"# TYPE mqpi_snapshot_epoch gauge",
+		"mqpi_snapshot_age_seconds ",
+		"# TYPE mqpi_poll_duration_seconds histogram",
+		"mqpi_poll_estimate_cache_",
 	} {
 		if !strings.Contains(string(b), want) {
 			t.Errorf("metrics missing %q", want)

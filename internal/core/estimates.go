@@ -1,5 +1,7 @@
 package core
 
+import "math"
+
 // Estimate bundles the two competing remaining-time views of one query, the
 // comparison the paper's evaluation is built around: the single-query PI's
 // t = c/s against the multi-query stage model.
@@ -10,6 +12,51 @@ type Estimate struct {
 	// MultiQuery is the stage-model estimate, aware of the other running
 	// queries, the admission queue, and (optionally) predicted arrivals.
 	MultiQuery float64
+}
+
+// EstimateInput is the pure-value input to ComputeEstimates: everything the
+// §2.2–2.4 estimators need, with no pointers into a live scheduler. A service
+// snapshot converts into one of these, which makes the estimate bundle a
+// deterministic function of the snapshot — safe to compute on any goroutine
+// and to share between concurrent pollers of the same epoch.
+type EstimateInput struct {
+	Running  []QueryState    // admitted queries (blocked ones carry Weight 0)
+	Queued   []QueryState    // admission queue, FIFO order
+	MPL      int             // admission limit (0 = unlimited)
+	RateC    float64         // processing rate C in U/s
+	Speeds   map[int]float64 // observed per-query execution speeds in U/s
+	Arrivals *ArrivalModel   // optional §2.4 future-arrival model
+}
+
+// Estimates is the bundle ComputeEstimates derives from one input: both
+// indicators for every admitted and queued query, plus the system quiescent
+// ETA — seconds until all *known* work drains, ignoring hypothetical future
+// arrivals (matching §2.3's definition of quiescence).
+type Estimates struct {
+	PerQuery  map[int]Estimate
+	Quiescent float64
+}
+
+// ComputeEstimates computes the full estimate bundle from one immutable
+// snapshot of the system. It is a pure function: the same input always yields
+// the same output, nothing is retained, and nothing live is touched.
+func ComputeEstimates(in EstimateInput) Estimates {
+	base := SimulateProfile(in.Running, in.RateC, SimOptions{MPL: in.MPL, Queued: in.Queued})
+	multi := base.Finish
+	if in.Arrivals != nil {
+		multi = SimulateProfile(in.Running, in.RateC,
+			SimOptions{MPL: in.MPL, Queued: in.Queued, Arrivals: in.Arrivals}).Finish
+	}
+	quiescent := 0.0
+	for _, f := range base.Finish {
+		if !math.IsInf(f, 1) && f > quiescent {
+			quiescent = f
+		}
+	}
+	return Estimates{
+		PerQuery:  bundleEstimates(in.Running, in.Queued, in.Speeds, multi),
+		Quiescent: quiescent,
+	}
 }
 
 // EstimateAll computes both indicators for every admitted and queued query
@@ -25,6 +72,12 @@ func EstimateAll(running, queued []QueryState, mpl int, C float64, speeds map[in
 	} else {
 		multi = MultiQueryWithQueue(running, queued, mpl, C)
 	}
+	return bundleEstimates(running, queued, speeds, multi)
+}
+
+// bundleEstimates pairs the per-query multi-query finish times with the
+// single-query c/s estimates.
+func bundleEstimates(running, queued []QueryState, speeds map[int]float64, multi map[int]float64) map[int]Estimate {
 	out := make(map[int]Estimate, len(running)+len(queued))
 	add := func(states []QueryState) {
 		for _, q := range states {

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestComputeEstimatesMatchesEstimateAll: the snapshot-driven entry point
+// must agree with EstimateAll for every query, in both the queue-aware and
+// future-aware configurations — it is the same math behind a pure-value
+// interface.
+func TestComputeEstimatesMatchesEstimateAll(t *testing.T) {
+	running := []QueryState{
+		{ID: 1, Remaining: 100, Weight: 1, Done: 50},
+		{ID: 2, Remaining: 300, Weight: 1, Done: 0},
+		{ID: 3, Remaining: 80, Weight: 0, Done: 10}, // blocked
+	}
+	queued := []QueryState{{ID: 4, Remaining: 50, Weight: 1}}
+	speeds := map[int]float64{1: 50, 2: 50}
+
+	for _, am := range []*ArrivalModel{nil, {Lambda: 0.5, AvgCost: 100, AvgWeight: 1}} {
+		got := ComputeEstimates(EstimateInput{
+			Running: running, Queued: queued, MPL: 2, RateC: 100, Speeds: speeds, Arrivals: am,
+		})
+		want := EstimateAll(running, queued, 2, 100, speeds, am)
+		if len(got.PerQuery) != len(want) {
+			t.Fatalf("arrivals=%v: %d estimates, want %d", am, len(got.PerQuery), len(want))
+		}
+		for id, w := range want {
+			g := got.PerQuery[id]
+			if g != w && !(math.IsInf(g.MultiQuery, 1) && math.IsInf(w.MultiQuery, 1) && g.SingleQuery == w.SingleQuery) {
+				t.Errorf("arrivals=%v Q%d: got %+v, want %+v", am, id, g, w)
+			}
+		}
+	}
+}
+
+// TestComputeEstimatesQuiescent: the quiescent ETA is the last finite finish
+// of the queue-aware profile and ignores the hypothetical future arrivals,
+// matching the §2.3 definition (and sched.Server.QuiescentEstimate).
+func TestComputeEstimatesQuiescent(t *testing.T) {
+	running := []QueryState{
+		{ID: 1, Remaining: 100, Weight: 1},
+		{ID: 2, Remaining: 300, Weight: 1},
+	}
+	queued := []QueryState{{ID: 3, Remaining: 100, Weight: 1}}
+	noArrivals := ComputeEstimates(EstimateInput{Running: running, Queued: queued, MPL: 2, RateC: 100})
+	want := 0.0
+	for _, f := range MultiQueryWithQueue(running, queued, 2, 100) {
+		if !math.IsInf(f, 1) && f > want {
+			want = f
+		}
+	}
+	if math.Abs(noArrivals.Quiescent-want) > 1e-9 {
+		t.Errorf("quiescent = %g, want %g", noArrivals.Quiescent, want)
+	}
+	withArrivals := ComputeEstimates(EstimateInput{
+		Running: running, Queued: queued, MPL: 2, RateC: 100,
+		Arrivals: &ArrivalModel{Lambda: 1, AvgCost: 50, AvgWeight: 1},
+	})
+	if withArrivals.Quiescent != noArrivals.Quiescent {
+		t.Errorf("arrivals changed the quiescent ETA: %g vs %g", withArrivals.Quiescent, noArrivals.Quiescent)
+	}
+	// Blocked-only systems never quiesce... but the quiescent ETA of an empty
+	// system is 0, and +Inf finishes are excluded rather than propagated.
+	blocked := ComputeEstimates(EstimateInput{Running: []QueryState{{ID: 9, Remaining: 50, Weight: 0}}, RateC: 100})
+	if blocked.Quiescent != 0 {
+		t.Errorf("blocked-only quiescent = %g, want 0 (Inf excluded)", blocked.Quiescent)
+	}
+	if !math.IsInf(blocked.PerQuery[9].MultiQuery, 1) {
+		t.Errorf("blocked query multi ETA = %g, want +Inf", blocked.PerQuery[9].MultiQuery)
+	}
+}

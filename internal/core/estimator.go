@@ -61,8 +61,11 @@ func NewSpeedTracker(window float64) *SpeedTracker {
 func (t *SpeedTracker) Observe(now, cumWork float64) {
 	t.times = append(t.times, now)
 	t.work = append(t.work, cumWork)
-	// Drop samples older than the window, keeping at least two.
-	for t.headIdx < len(t.times)-1 && t.times[t.headIdx+1] <= now-t.window {
+	// Drop samples older than the window, keeping at least two: with sparse
+	// observations (gaps longer than the window) the newest pair still yields
+	// a speed, where dropping down to one sample would report 0 for a query
+	// that is steadily running.
+	for t.headIdx < len(t.times)-2 && t.times[t.headIdx+1] <= now-t.window {
 		t.headIdx++
 	}
 	// Compact occasionally so memory stays bounded.

@@ -83,6 +83,28 @@ func TestSpeedTrackerWindow(t *testing.T) {
 	}
 }
 
+// TestSpeedTrackerSparseSamples is the regression test for the window drop
+// leaving a single sample behind: when observations are sparser than the
+// window, Speed() must still be computed from the newest two samples instead
+// of reporting 0 for a steadily running query.
+func TestSpeedTrackerSparseSamples(t *testing.T) {
+	tr := NewSpeedTracker(1)
+	tr.Observe(0, 0)
+	tr.Observe(10, 5)
+	tr.Observe(20, 10)
+	if got := tr.Speed(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("sparse-sample speed = %g, want 0.5 from the newest two samples", got)
+	}
+	// Still true after enough sparse samples to trigger compaction.
+	tr = NewSpeedTracker(1)
+	for i := 0; i <= 3000; i++ {
+		tr.Observe(float64(i*2), float64(i))
+	}
+	if got := tr.Speed(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("sparse-sample speed after compaction = %g, want 0.5", got)
+	}
+}
+
 func TestSpeedTrackerZeroTimeDelta(t *testing.T) {
 	tr := NewSpeedTracker(10)
 	tr.Observe(5, 10)

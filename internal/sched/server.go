@@ -668,20 +668,67 @@ func (s *Server) SnapshotQuery(id int) (QueryInfo, bool) {
 }
 
 // Snapshot is a consistent value copy of the server's whole state, taken
-// between ticks.
+// between ticks. It carries everything the progress-indicator read path
+// needs — states, weights, observed speeds — so estimates can be computed
+// from the snapshot alone, on any goroutine, with no live scheduler pointers.
 type Snapshot struct {
 	Now       float64
 	RateC     float64
 	MPL       int
+	Quantum   float64
 	Running   []QueryInfo // admitted queries (running and blocked), admission order
 	Queued    []QueryInfo // admission queue, FIFO order
 	Scheduled []QueryInfo // future arrivals, ascending arrival time
 	Done      []QueryInfo // terminated queries, termination order
 }
 
+// Lookup finds one query's info in the snapshot, searching admitted, queued,
+// scheduled, and terminated queries.
+func (s *Snapshot) Lookup(id int) (QueryInfo, bool) {
+	for _, list := range [4][]QueryInfo{s.Running, s.Queued, s.Scheduled, s.Done} {
+		for _, q := range list {
+			if q.ID == id {
+				return q, true
+			}
+		}
+	}
+	return QueryInfo{}, false
+}
+
+// StatesRunning converts the snapshot's admitted queries to the PI's
+// abstract view, mirroring Server.StateRunning: blocked queries carry
+// weight 0 (QueryInfo.Weight is already 0 while blocked).
+func (s *Snapshot) StatesRunning() []core.QueryState {
+	return infoStates(s.Running)
+}
+
+// StatesQueued converts the snapshot's admission queue to the PI view in
+// FIFO order, mirroring Server.StateQueued.
+func (s *Snapshot) StatesQueued() []core.QueryState {
+	return infoStates(s.Queued)
+}
+
+// Speeds returns the observed execution speed of every admitted query, the
+// s in the single-query PI's t = c/s.
+func (s *Snapshot) Speeds() map[int]float64 {
+	out := make(map[int]float64, len(s.Running))
+	for _, q := range s.Running {
+		out[q.ID] = q.Speed
+	}
+	return out
+}
+
+func infoStates(infos []QueryInfo) []core.QueryState {
+	out := make([]core.QueryState, 0, len(infos))
+	for _, q := range infos {
+		out = append(out, core.QueryState{ID: q.ID, Remaining: q.Remaining, Weight: q.Weight, Done: q.Done})
+	}
+	return out
+}
+
 // Snapshot captures the server state as plain values.
 func (s *Server) Snapshot() Snapshot {
-	snap := Snapshot{Now: s.now, RateC: s.cfg.RateC, MPL: s.cfg.MPL}
+	snap := Snapshot{Now: s.now, RateC: s.cfg.RateC, MPL: s.cfg.MPL, Quantum: s.cfg.Quantum}
 	for _, q := range s.running {
 		snap.Running = append(snap.Running, s.InfoOf(q))
 	}

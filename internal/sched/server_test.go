@@ -614,3 +614,68 @@ func TestMidQuantumArrivalSharesSegment(t *testing.T) {
 		t.Errorf("late work = %g U, want ~2.5", got)
 	}
 }
+
+// TestSnapshotStatesMatchLive: the PI views derived from a Snapshot must be
+// byte-for-byte the ones the live server reports — the serving layer's
+// lock-free read path computes estimates from the snapshot alone, so any
+// divergence here would make polled estimates drift from owner-side ones.
+func TestSnapshotStatesMatchLive(t *testing.T) {
+	db := engine.Open()
+	srv := newServer(Config{RateC: 10, Quantum: 0.5, MPL: 2, Weights: map[int]float64{0: 1, 2: 3}})
+	a := srv.NewQuery("a", "", 0, prepare(t, db, "sa", 10))
+	b := srv.NewQuery("b", "", 2, prepare(t, db, "sb", 20))
+	c := srv.NewQuery("c", "", 0, prepare(t, db, "sc", 30)) // queued behind MPL=2
+	srv.Submit(a)
+	srv.Submit(b)
+	srv.Submit(c)
+	srv.Tick()
+	srv.Tick()
+	if err := srv.Block(a.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := srv.Snapshot()
+	if snap.Quantum != 0.5 {
+		t.Errorf("snapshot quantum = %g, want 0.5", snap.Quantum)
+	}
+	wantRun, gotRun := srv.StateRunning(), snap.StatesRunning()
+	if len(gotRun) != len(wantRun) {
+		t.Fatalf("running states: %d, want %d", len(gotRun), len(wantRun))
+	}
+	for i := range wantRun {
+		if gotRun[i] != wantRun[i] {
+			t.Errorf("running[%d] = %+v, want %+v", i, gotRun[i], wantRun[i])
+		}
+	}
+	wantQ, gotQ := srv.StateQueued(), snap.StatesQueued()
+	if len(gotQ) != len(wantQ) {
+		t.Fatalf("queued states: %d, want %d", len(gotQ), len(wantQ))
+	}
+	for i := range wantQ {
+		if gotQ[i] != wantQ[i] {
+			t.Errorf("queued[%d] = %+v, want %+v", i, gotQ[i], wantQ[i])
+		}
+	}
+	// Blocked query carries weight 0 in both views.
+	for _, st := range gotRun {
+		if st.ID == a.ID && st.Weight != 0 {
+			t.Errorf("blocked query weight = %g, want 0", st.Weight)
+		}
+	}
+	speeds := snap.Speeds()
+	for _, q := range srv.Running() {
+		if speeds[q.ID] != q.ObservedSpeed() {
+			t.Errorf("speed[%d] = %g, want %g", q.ID, speeds[q.ID], q.ObservedSpeed())
+		}
+	}
+	// Lookup finds queries in every lifecycle bucket.
+	for _, id := range []int{a.ID, b.ID, c.ID} {
+		info, ok := snap.Lookup(id)
+		if !ok || info.ID != id {
+			t.Errorf("snapshot Lookup(%d) = %+v, %v", id, info, ok)
+		}
+	}
+	if _, ok := snap.Lookup(999); ok {
+		t.Error("snapshot Lookup(999) found a ghost")
+	}
+}

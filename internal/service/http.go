@@ -11,7 +11,11 @@ import (
 	"mqpi/internal/wm"
 )
 
-// NewHandler exposes a Manager as an HTTP/JSON API:
+// NewHandler exposes a Manager as an HTTP/JSON API. GET endpoints ride the
+// Manager's lock-free read path — they serve from the latest published
+// snapshot and never wait on the owner goroutine, so progress polls stay
+// fast no matter how busy the scheduler is. POST endpoints mutate and are
+// marshalled onto the owner.
 //
 //	POST /queries                     submit {"sql","label","priority","delay"}
 //	GET  /queries                     system overview (running/queued/scheduled/finished)

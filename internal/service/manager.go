@@ -3,7 +3,8 @@
 // consumed, with PostgreSQL clients polling estimates *while* queries ran.
 //
 // A Manager hosts one sched.Server, one engine.DB, and all derived state
-// behind a single owner goroutine. Public methods marshal a closure onto an
+// behind a single owner goroutine — the only writer. Mutations (Submit,
+// Block, Abort, SetPriority, Advance, Exec) marshal a closure onto an
 // unbuffered request channel and wait for the owner to run it; a wall-clock
 // ticker feeding the same loop drives sched.Tick, bridging the virtual clock
 // to real time with a configurable time scale (an hour-long workload can
@@ -11,10 +12,20 @@
 // value that crosses the goroutine boundary is a copy (sched.QueryInfo,
 // QueryView, Event), never a live pointer.
 //
+// Reads take a different path entirely. After every mutation and tick batch
+// the owner publishes an immutable, epoch-stamped Snapshot through an atomic
+// pointer; Progress, Overview, Diagram, and the §3 planners load the latest
+// snapshot and compute their views on the *caller's* goroutine, never
+// touching the owner channel. A per-epoch estimate cache with singleflight
+// semantics makes N concurrent pollers of the same epoch share one
+// EstimateAll computation, so polls scale with reader parallelism instead of
+// serializing behind each other and the scheduler ticks.
+//
 // On top of the session manager sits the observability layer: Prometheus
-// counters/gauges/histograms (Metrics) and a bounded per-query event trace
-// (EventLog), both safe to read from any goroutine without stalling the
-// scheduler.
+// counters/gauges/histograms (Metrics, including read-path cache hit/miss
+// counters, snapshot age, and poll latency) and a bounded per-query event
+// trace (EventLog), both safe to read from any goroutine without stalling
+// the scheduler.
 package service
 
 import (
@@ -22,6 +33,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mqpi/internal/core"
@@ -85,9 +97,15 @@ type Manager struct {
 	done      chan struct{}
 	closeOnce sync.Once
 
+	// Read path: the owner publishes an immutable snapshot here after every
+	// mutation; pollers load it and share per-epoch estimates via cache.
+	snap  atomic.Pointer[Snapshot]
+	cache estimateCache
+
 	// Owner-goroutine state: only the loop goroutine may touch these.
 	db         *engine.DB
 	srv        *sched.Server
+	epoch      uint64              // last published snapshot epoch
 	debt       float64             // virtual seconds owed but not yet ticked
 	lastFinish map[int]float64     // query -> last predicted absolute finish time
 	queuedSet  map[int]bool        // queries last seen in the admission queue
@@ -97,6 +115,13 @@ type Manager struct {
 // New creates a manager over db and starts its owner goroutine.
 func New(db *engine.DB, cfg Config) *Manager {
 	cfg = cfg.withDefaults()
+	if cfg.Arrivals != nil {
+		// Snapshot publications share this pointer across goroutines; a
+		// private copy guarantees the caller cannot mutate it underneath the
+		// read path.
+		a := *cfg.Arrivals
+		cfg.Arrivals = &a
+	}
 	m := &Manager{
 		cfg:        cfg,
 		metrics:    newMetrics(),
@@ -114,6 +139,14 @@ func New(db *engine.DB, cfg Config) *Manager {
 		m.cfg.RevisionEpsilon = m.srv.Quantum()
 	}
 	m.srv.OnFinish(m.onFinish)
+	m.metrics.snapshotInfo = func() (uint64, float64) {
+		s := m.snap.Load()
+		if s == nil {
+			return 0, 0
+		}
+		return s.Epoch, time.Since(s.Published).Seconds()
+	}
+	m.publish() // epoch 1: readers never observe a nil snapshot
 	go m.loop()
 	return m
 }
@@ -162,20 +195,62 @@ func (m *Manager) loop() {
 			f()
 		case <-tickC:
 			m.advance(m.cfg.TickEvery.Seconds() * m.cfg.TimeScale)
+			m.publish()
 		}
 	}
 }
 
-// call runs f on the owner goroutine and waits for it to complete.
+// call runs f on the owner goroutine, publishes a fresh snapshot, and waits
+// for both to complete — so a client that mutates and immediately polls reads
+// its own write.
 func (m *Manager) call(f func()) error {
 	fin := make(chan struct{})
 	select {
-	case m.reqs <- func() { f(); close(fin) }:
+	case m.reqs <- func() { f(); m.publish(); close(fin) }:
+		m.metrics.incOwnerRequest()
 		<-fin
 		return nil
 	case <-m.done:
 		return ErrClosed
 	}
+}
+
+// publish installs a fresh immutable snapshot for the read path. Owner
+// goroutine only (called from New before the loop starts, then from the loop).
+func (m *Manager) publish() {
+	m.epoch++
+	m.snap.Store(&Snapshot{
+		Epoch:     m.epoch,
+		Published: time.Now(),
+		Sched:     m.srv.Snapshot(),
+		TimeScale: m.cfg.TimeScale,
+		Arrivals:  m.cfg.Arrivals,
+	})
+}
+
+// read returns the latest published snapshot without touching the owner
+// goroutine. After Close it fails with ErrClosed, preserving the method
+// contract even though the final snapshot would still be readable.
+func (m *Manager) read() (*Snapshot, error) {
+	select {
+	case <-m.done:
+		return nil, ErrClosed
+	default:
+		return m.snap.Load(), nil
+	}
+}
+
+// estimatesFor returns the shared estimate bundle for snap's epoch,
+// computing it on the calling goroutine at most once per epoch across all
+// concurrent pollers.
+func (m *Manager) estimatesFor(snap *Snapshot) viewEstimates {
+	est, hit := m.cache.get(snap.Epoch, snap.estimates)
+	if hit {
+		m.metrics.incCacheHit()
+	} else {
+		m.metrics.incCacheMiss()
+	}
+	return est
 }
 
 // advance accrues vsec virtual seconds of debt and ticks the scheduler while
@@ -346,52 +421,66 @@ func (m *Manager) Exec(sqlText string) (int, error) {
 	return n, rerr
 }
 
-// Progress returns the live view of one query.
+// Progress returns the live view of one query. It is a pure read: the latest
+// snapshot is loaded from the atomic pointer and the view is computed on the
+// caller's goroutine, with zero sends on the owner channel.
 func (m *Manager) Progress(id int) (QueryView, error) {
-	var view QueryView
-	var ok bool
-	err := m.call(func() {
-		if _, ok = m.srv.SnapshotQuery(id); ok {
-			view = m.viewLocked(id)
-		}
-	})
+	snap, err := m.read()
 	if err != nil {
 		return QueryView{}, err
 	}
+	start := time.Now()
+	defer func() { m.metrics.observePoll(time.Since(start).Seconds()) }()
+	info, ok := snap.Sched.Lookup(id)
 	if !ok {
 		return QueryView{}, ErrNotFound
 	}
-	return view, nil
+	var est core.Estimate
+	if statusHasEstimate(info.Status) {
+		est = m.estimatesFor(snap).perQuery[id]
+	}
+	return makeView(info, est), nil
 }
 
-// Overview returns the whole system's live view.
+// statusHasEstimate reports whether makeView consults the estimate bundle
+// for a query in this state — terminated and not-yet-arrived queries render
+// fixed ETAs, so polling them skips the estimate computation entirely.
+func statusHasEstimate(st sched.Status) bool {
+	return st == sched.StatusRunning || st == sched.StatusBlocked || st == sched.StatusQueued
+}
+
+// Overview returns the whole system's live view. Like Progress it is a pure
+// snapshot read on the caller's goroutine.
 func (m *Manager) Overview() (Overview, error) {
-	var out Overview
-	err := m.call(func() {
-		snap := m.srv.Snapshot()
-		est := m.estimates()
-		out = Overview{
-			Now:       snap.Now,
-			RateC:     snap.RateC,
-			MPL:       snap.MPL,
-			Quantum:   m.srv.Quantum(),
-			TimeScale: m.cfg.TimeScale,
-		}
-		out.QuiescentETA = Seconds(m.srv.QuiescentEstimate() - snap.Now)
-		for _, info := range snap.Running {
-			out.Running = append(out.Running, makeView(info, est[info.ID]))
-		}
-		for _, info := range snap.Queued {
-			out.Queued = append(out.Queued, makeView(info, est[info.ID]))
-		}
-		for _, info := range snap.Scheduled {
-			out.Scheduled = append(out.Scheduled, makeView(info, est[info.ID]))
-		}
-		for _, info := range snap.Done {
-			out.Finished = append(out.Finished, makeView(info, est[info.ID]))
-		}
-	})
-	return out, err
+	snap, err := m.read()
+	if err != nil {
+		return Overview{}, err
+	}
+	start := time.Now()
+	defer func() { m.metrics.observePoll(time.Since(start).Seconds()) }()
+	est := m.estimatesFor(snap)
+	out := Overview{
+		Now:          snap.Sched.Now,
+		Epoch:        snap.Epoch,
+		RateC:        snap.Sched.RateC,
+		MPL:          snap.Sched.MPL,
+		Quantum:      snap.Sched.Quantum,
+		TimeScale:    snap.TimeScale,
+		QuiescentETA: Seconds(est.quiescent),
+	}
+	for _, info := range snap.Sched.Running {
+		out.Running = append(out.Running, makeView(info, est.perQuery[info.ID]))
+	}
+	for _, info := range snap.Sched.Queued {
+		out.Queued = append(out.Queued, makeView(info, est.perQuery[info.ID]))
+	}
+	for _, info := range snap.Sched.Scheduled {
+		out.Scheduled = append(out.Scheduled, makeView(info, est.perQuery[info.ID]))
+	}
+	for _, info := range snap.Sched.Done {
+		out.Finished = append(out.Finished, makeView(info, est.perQuery[info.ID]))
+	}
+	return out, nil
 }
 
 // Block suspends an admitted query (the §3.1 victim operation).
@@ -469,60 +558,50 @@ func (m *Manager) Advance(vsec float64) error {
 }
 
 // Diagram renders the §2.2 stage diagram of the currently admitted queries.
+// A pure snapshot read.
 func (m *Manager) Diagram(width int) (string, error) {
-	var s string
-	err := m.call(func() {
-		s = core.StageDiagram(m.srv.StateRunning(), m.srv.RateC(), width)
-	})
-	return s, err
+	snap, err := m.read()
+	if err != nil {
+		return "", err
+	}
+	return core.StageDiagram(snap.Sched.StatesRunning(), snap.Sched.RateC, width), nil
 }
 
 // SpeedUpSingle runs the §3.1 planner: the h best victims to block so that
-// the target query speeds up the most.
+// the target query speeds up the most. The planners are pure functions of
+// the query states, so they run on the caller's goroutine over the latest
+// snapshot instead of stalling the scheduler.
 func (m *Manager) SpeedUpSingle(targetID, h int) ([]wm.Victim, error) {
-	var victims []wm.Victim
-	var rerr error
-	err := m.call(func() {
-		victims, rerr = wm.SpeedUpSingle(m.srv.StateRunning(), m.srv.RateC(), targetID, h)
-	})
+	snap, err := m.read()
 	if err != nil {
 		return nil, err
 	}
-	return victims, rerr
+	return wm.SpeedUpSingle(snap.Sched.StatesRunning(), snap.Sched.RateC, targetID, h)
 }
 
 // SpeedUpOthers runs the §3.2 planner: the single victim whose blocking most
-// improves everyone else's total response time.
+// improves everyone else's total response time. A pure snapshot read.
 func (m *Manager) SpeedUpOthers() (wm.Victim, error) {
-	var v wm.Victim
-	var rerr error
-	err := m.call(func() {
-		v, rerr = wm.SpeedUpOthers(m.srv.StateRunning(), m.srv.RateC())
-	})
+	snap, err := m.read()
 	if err != nil {
 		return wm.Victim{}, err
 	}
-	return v, rerr
+	return wm.SpeedUpOthers(snap.Sched.StatesRunning(), snap.Sched.RateC)
 }
 
 // PlanMaintenance runs the §3.3 planner: which queries to abort now so the
 // rest finish within deadline seconds. exact switches from the greedy
-// knapsack to the branch-and-bound optimum (n ≤ 25).
+// knapsack to the branch-and-bound optimum (n ≤ 25). A pure snapshot read.
 func (m *Manager) PlanMaintenance(deadline float64, mode wm.LostWorkMode, exact bool) (wm.MaintenancePlan, error) {
-	var plan wm.MaintenancePlan
-	var rerr error
-	err := m.call(func() {
-		states := m.srv.StateRunning()
-		if exact {
-			plan, rerr = wm.PlanMaintenanceExact(states, m.srv.RateC(), deadline, mode)
-		} else {
-			plan, rerr = wm.PlanMaintenance(states, m.srv.RateC(), deadline, mode)
-		}
-	})
+	snap, err := m.read()
 	if err != nil {
 		return wm.MaintenancePlan{}, err
 	}
-	return plan, rerr
+	states := snap.Sched.StatesRunning()
+	if exact {
+		return wm.PlanMaintenanceExact(states, snap.Sched.RateC, deadline, mode)
+	}
+	return wm.PlanMaintenance(states, snap.Sched.RateC, deadline, mode)
 }
 
 // viewLocked builds the client view of one query. Owner goroutine only.

@@ -499,3 +499,156 @@ func TestIdleClockFrozen(t *testing.T) {
 		t.Errorf("idle clock moved to %g", ov.Now)
 	}
 }
+
+// TestReadsBypassOwner pins the tentpole invariant: Progress, Overview,
+// Diagram, the §3 planners, Events, and metrics scrapes perform zero sends on
+// the owner-goroutine channel. First by counting owner requests across a
+// burst of reads, then behaviorally: with the owner goroutine wedged on a
+// slow request, every read still completes.
+func TestReadsBypassOwner(t *testing.T) {
+	db := engine.Open()
+	loadTable(t, db, "t1", 10)
+	loadTable(t, db, "t2", 20)
+	m := manual(t, db, sched.Config{RateC: 10, Quantum: 0.5})
+	v1, err := m.Submit(SubmitRequest{SQL: "SELECT SUM(a) FROM t1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(SubmitRequest{SQL: "SELECT SUM(a) FROM t2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Advance(1); err != nil {
+		t.Fatal(err)
+	}
+
+	before, _, _ := m.metrics.readStats()
+	if _, err := m.Progress(v1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Overview(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Diagram(40); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SpeedUpSingle(v1.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SpeedUpOthers(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PlanMaintenance(10, wm.Case2TotalCost, false); err != nil {
+		t.Fatal(err)
+	}
+	m.Events(0)
+	_ = m.Metrics().Text()
+	if after, _, _ := m.metrics.readStats(); after != before {
+		t.Fatalf("reads sent %d request(s) to the owner goroutine, want 0", after-before)
+	}
+
+	// Behavioral proof: wedge the owner, reads must not care.
+	gate := make(chan struct{})
+	defer close(gate) // un-wedge before Cleanup's m.Close even if we fail below
+	started := make(chan struct{})
+	go func() { _ = m.call(func() { close(started); <-gate }) }()
+	<-started
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := m.Progress(v1.ID); err != nil {
+			t.Errorf("progress with wedged owner: %v", err)
+		}
+		if _, err := m.Overview(); err != nil {
+			t.Errorf("overview with wedged owner: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("read path blocked behind the owner goroutine")
+	}
+}
+
+// TestSingleflightEstimates: concurrent pollers of the same snapshot epoch
+// must trigger exactly one EstimateAll computation; everyone else shares it
+// via the per-epoch cache.
+func TestSingleflightEstimates(t *testing.T) {
+	db := engine.Open()
+	loadTable(t, db, "t1", 50)
+	m := manual(t, db, sched.Config{RateC: 1, Quantum: 0.5})
+	v, err := m.Submit(SubmitRequest{SQL: "SELECT SUM(a) FROM t1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Advance(1); err != nil {
+		t.Fatal(err)
+	}
+
+	_, hits0, miss0 := m.metrics.readStats()
+	const pollers = 32
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < pollers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			p, err := m.Progress(v.ID)
+			if err != nil {
+				t.Errorf("progress: %v", err)
+				return
+			}
+			if p.Status != "running" || p.MultiETA <= 0 {
+				t.Errorf("poll view = %+v", p)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	_, hits, miss := m.metrics.readStats()
+	if miss-miss0 != 1 {
+		t.Errorf("estimates computed %d times for one epoch, want exactly 1", miss-miss0)
+	}
+	if total := (hits - hits0) + (miss - miss0); total != pollers {
+		t.Errorf("hits+misses = %d, want %d", total, pollers)
+	}
+
+	// A mutation publishes a new epoch, which must invalidate the cache.
+	if err := m.Advance(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Progress(v.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, miss2 := func() (uint64, uint64) { _, h, ms := m.metrics.readStats(); return h, ms }(); miss2 != miss+1 {
+		t.Errorf("post-mutation poll did not recompute: misses = %d, want %d", miss2, miss+1)
+	}
+}
+
+// TestOverviewCarriesEpoch: every mutation publishes a fresh snapshot, and
+// the overview reports which epoch it was derived from.
+func TestOverviewCarriesEpoch(t *testing.T) {
+	db := engine.Open()
+	loadTable(t, db, "t1", 10)
+	m := manual(t, db, sched.Config{RateC: 10, Quantum: 0.5})
+	ov1, err := m.Overview()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov1.Epoch == 0 {
+		t.Fatal("initial snapshot has epoch 0; New must publish before serving reads")
+	}
+	if _, err := m.Submit(SubmitRequest{SQL: "SELECT SUM(a) FROM t1"}); err != nil {
+		t.Fatal(err)
+	}
+	ov2, err := m.Overview()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov2.Epoch <= ov1.Epoch {
+		t.Errorf("epoch did not advance across a mutation: %d -> %d", ov1.Epoch, ov2.Epoch)
+	}
+	if len(ov2.Running) != 1 {
+		t.Errorf("read-your-write failed: submit not visible in next overview: %+v", ov2)
+	}
+}

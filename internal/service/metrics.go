@@ -48,6 +48,10 @@ type Metrics struct {
 	blocked   uint64
 	unblocked uint64
 
+	ownerRequests uint64 // operations marshalled onto the owner goroutine
+	cacheHits     uint64 // polls served from the per-epoch estimate cache
+	cacheMisses   uint64 // polls that computed their epoch's estimates
+
 	runningDepth   int
 	blockedDepth   int
 	queuedDepth    int
@@ -55,12 +59,19 @@ type Metrics struct {
 
 	tickDur  *histogram // wall seconds per scheduler tick
 	revision *histogram // |Δ predicted finish| per tick, virtual seconds
+	pollDur  *histogram // wall seconds per progress/overview poll
+
+	// snapshotInfo, when wired by the Manager, reports the published
+	// read-path snapshot's epoch and wall-clock age in seconds. It must not
+	// block (the Manager wires an atomic load) — Text calls it under mu.
+	snapshotInfo func() (epoch uint64, ageSeconds float64)
 }
 
 func newMetrics() *Metrics {
 	return &Metrics{
 		tickDur:  newHistogram(1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1),
 		revision: newHistogram(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 300),
+		pollDur:  newHistogram(1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 5e-2, 0.1),
 	}
 }
 
@@ -70,6 +81,24 @@ func (m *Metrics) incFailed()    { m.mu.Lock(); m.failed++; m.mu.Unlock() }
 func (m *Metrics) incAborted()   { m.mu.Lock(); m.aborted++; m.mu.Unlock() }
 func (m *Metrics) incBlocked()   { m.mu.Lock(); m.blocked++; m.mu.Unlock() }
 func (m *Metrics) incUnblocked() { m.mu.Lock(); m.unblocked++; m.mu.Unlock() }
+
+func (m *Metrics) incOwnerRequest() { m.mu.Lock(); m.ownerRequests++; m.mu.Unlock() }
+func (m *Metrics) incCacheHit()     { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
+func (m *Metrics) incCacheMiss()    { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
+
+func (m *Metrics) observePoll(seconds float64) {
+	m.mu.Lock()
+	m.pollDur.observe(seconds)
+	m.mu.Unlock()
+}
+
+// readStats returns the read-path counters; tests use it to pin the two
+// tentpole invariants (reads bypass the owner, estimates are singleflighted).
+func (m *Metrics) readStats() (ownerRequests, cacheHits, cacheMisses uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ownerRequests, m.cacheHits, m.cacheMisses
+}
 
 func (m *Metrics) observeTick(seconds float64) {
 	m.mu.Lock()
@@ -129,7 +158,16 @@ func (m *Metrics) Text() string {
 	writeScalar(&b, "mqpi_queries_blocked", "gauge", "Admitted queries currently blocked.", float64(m.blockedDepth))
 	writeScalar(&b, "mqpi_queries_queued", "gauge", "Admission-queue depth.", float64(m.queuedDepth))
 	writeScalar(&b, "mqpi_queries_scheduled", "gauge", "Future arrivals not yet submitted.", float64(m.scheduledDepth))
+	writeScalar(&b, "mqpi_owner_requests_total", "counter", "Operations marshalled onto the owner goroutine (mutations only; reads bypass it).", float64(m.ownerRequests))
+	writeScalar(&b, "mqpi_poll_estimate_cache_hits_total", "counter", "Polls that shared a cached per-epoch estimate computation.", float64(m.cacheHits))
+	writeScalar(&b, "mqpi_poll_estimate_cache_misses_total", "counter", "Polls that computed their epoch's estimates.", float64(m.cacheMisses))
+	if m.snapshotInfo != nil {
+		epoch, age := m.snapshotInfo()
+		writeScalar(&b, "mqpi_snapshot_epoch", "gauge", "Epoch of the published read-path snapshot.", float64(epoch))
+		writeScalar(&b, "mqpi_snapshot_age_seconds", "gauge", "Wall-clock age of the published read-path snapshot.", age)
+	}
 	writeHistogram(&b, "mqpi_tick_duration_seconds", "Wall-clock duration of one scheduler tick.", m.tickDur)
 	writeHistogram(&b, "mqpi_estimate_revision_seconds", "Per-tick change of a query's predicted finish time, in virtual seconds.", m.revision)
+	writeHistogram(&b, "mqpi_poll_duration_seconds", "Wall-clock latency of one progress or overview poll on the lock-free read path.", m.pollDur)
 	return b.String()
 }

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"mqpi/internal/engine"
+	"mqpi/internal/sched"
+)
+
+// TestReadPathMetricsExposition: the read-path counters, snapshot gauges,
+// and poll-latency histogram render in the Prometheus text format with
+// monotone cumulative buckets ending at +Inf.
+func TestReadPathMetricsExposition(t *testing.T) {
+	m := newMetrics()
+	m.snapshotInfo = func() (uint64, float64) { return 7, 0.125 }
+	m.incOwnerRequest()
+	m.incCacheMiss()
+	m.incCacheHit()
+	m.incCacheHit()
+	m.observePoll(2e-5) // lands in a finite bucket
+	m.observePoll(123)  // lands only in +Inf
+
+	text := m.Text()
+	assertPrometheusText(t, text)
+	for _, want := range []string{
+		"mqpi_owner_requests_total 1",
+		"mqpi_poll_estimate_cache_hits_total 2",
+		"mqpi_poll_estimate_cache_misses_total 1",
+		"mqpi_snapshot_epoch 7",
+		"mqpi_snapshot_age_seconds 0.125",
+		`mqpi_poll_duration_seconds_bucket{le="+Inf"} 2`,
+		"mqpi_poll_duration_seconds_count 2",
+		"mqpi_poll_duration_seconds_sum 123.00002",
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	// The overflow observation must not leak into the last finite bucket.
+	if !strings.Contains(text, `mqpi_poll_duration_seconds_bucket{le="0.1"} 1`+"\n") {
+		t.Errorf("finite buckets should hold exactly 1 observation:\n%s", text)
+	}
+}
+
+// TestMetricsSnapshotGaugesUnwired: a Metrics without a Manager omits the
+// snapshot gauges instead of rendering garbage.
+func TestMetricsSnapshotGaugesUnwired(t *testing.T) {
+	m := newMetrics()
+	text := m.Text()
+	assertPrometheusText(t, text)
+	if strings.Contains(text, "mqpi_snapshot_epoch") || strings.Contains(text, "mqpi_snapshot_age_seconds") {
+		t.Errorf("unwired metrics render snapshot gauges:\n%s", text)
+	}
+}
+
+// TestManagerWiresReadPathMetrics: a real manager exports the snapshot
+// gauges and counts cache traffic end to end through the scrape surface.
+func TestManagerWiresReadPathMetrics(t *testing.T) {
+	db := engine.Open()
+	loadTable(t, db, "t1", 10)
+	m := manual(t, db, sched.Config{RateC: 10, Quantum: 0.5})
+	v, err := m.Submit(SubmitRequest{SQL: "SELECT SUM(a) FROM t1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Advance(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Progress(v.ID); err != nil { // miss
+		t.Fatal(err)
+	}
+	if _, err := m.Overview(); err != nil { // hit (same epoch)
+		t.Fatal(err)
+	}
+	text := m.Metrics().Text()
+	assertPrometheusText(t, text)
+	for _, want := range []string{
+		"mqpi_poll_estimate_cache_hits_total 1",
+		"mqpi_poll_estimate_cache_misses_total 1",
+		"mqpi_owner_requests_total 2", // submit + advance; the polls add nothing
+		"mqpi_poll_duration_seconds_count 2",
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	// Epoch gauge reflects the published snapshot (1 from New + 2 mutations).
+	if !strings.Contains(text, "mqpi_snapshot_epoch 3\n") {
+		t.Errorf("snapshot epoch gauge wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "mqpi_snapshot_age_seconds ") {
+		t.Errorf("snapshot age gauge missing:\n%s", text)
+	}
+}

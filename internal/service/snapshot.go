@@ -1,0 +1,88 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"mqpi/internal/core"
+	"mqpi/internal/sched"
+)
+
+// Snapshot is the immutable, epoch-stamped view of the whole service that the
+// owner goroutine publishes (through an atomic pointer) after every mutation:
+// each tick batch, submission, block/unblock/abort, and priority change.
+// Readers load the latest snapshot and derive whatever view they need on
+// their own goroutine — nothing in a Snapshot aliases live scheduler state,
+// so no locking is required and polls never stall the scheduler.
+//
+// Epoch increases by exactly one per publication, which gives the estimate
+// cache its invalidation rule: derived estimates are valid for precisely one
+// epoch, and a changed epoch means the world changed.
+type Snapshot struct {
+	Epoch     uint64
+	Published time.Time // wall-clock publication time (snapshot age = now - Published)
+	Sched     sched.Snapshot
+	TimeScale float64
+	Arrivals  *core.ArrivalModel // immutable after New; shared, never written
+}
+
+// estimates derives the per-query estimate bundle and quiescent ETA from the
+// snapshot alone — a pure function, safe on any goroutine.
+func (s *Snapshot) estimates() viewEstimates {
+	out := core.ComputeEstimates(core.EstimateInput{
+		Running:  s.Sched.StatesRunning(),
+		Queued:   s.Sched.StatesQueued(),
+		MPL:      s.Sched.MPL,
+		RateC:    s.Sched.RateC,
+		Speeds:   s.Sched.Speeds(),
+		Arrivals: s.Arrivals,
+	})
+	return viewEstimates{perQuery: out.PerQuery, quiescent: out.Quiescent}
+}
+
+// viewEstimates is everything the read path derives from one snapshot: the
+// §2.2–2.4 estimate bundle plus the quiescent ETA. Immutable once published
+// through the cache entry's done channel.
+type viewEstimates struct {
+	perQuery  map[int]core.Estimate
+	quiescent float64 // seconds until all known work drains
+}
+
+// estimateCache shares one estimate computation per snapshot epoch among all
+// concurrent pollers (singleflight): the first caller at a new epoch computes
+// on its own goroutine while later callers of the same epoch wait on the
+// entry's done channel and then share the identical immutable result. The
+// cache holds a single slot — the newest epoch wins — because readers always
+// load the latest published snapshot; a straggler that raced a publication
+// and still holds the previous epoch simply computes its own result without
+// disturbing the slot.
+type estimateCache struct {
+	mu  sync.Mutex
+	cur *estEntry
+}
+
+type estEntry struct {
+	epoch uint64
+	done  chan struct{} // closed once est is filled in
+	est   viewEstimates
+}
+
+// get returns the estimate bundle for the given epoch, invoking compute at
+// most once per epoch among concurrent callers. hit reports whether the
+// result was shared from another caller's (possibly in-flight) computation.
+func (c *estimateCache) get(epoch uint64, compute func() viewEstimates) (est viewEstimates, hit bool) {
+	c.mu.Lock()
+	if e := c.cur; e != nil && e.epoch == epoch {
+		c.mu.Unlock()
+		<-e.done
+		return e.est, true
+	}
+	e := &estEntry{epoch: epoch, done: make(chan struct{})}
+	if c.cur == nil || epoch > c.cur.epoch {
+		c.cur = e
+	}
+	c.mu.Unlock()
+	e.est = compute()
+	close(e.done)
+	return e.est, false
+}

@@ -1,0 +1,151 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mqpi/internal/engine"
+	"mqpi/internal/sched"
+)
+
+// TestReadPathStressRace pins the safety of the lock-free read path under
+// -race (make ci runs this package under the detector): 32 reader goroutines
+// hammer Progress, Overview, Events, Diagram, planners, and the metrics
+// scrape while the wall-clock ticker advances virtual time and writer
+// goroutines submit, block, unblock, re-prioritize, and abort queries —
+// including scheduled future arrivals.
+func TestReadPathStressRace(t *testing.T) {
+	db := engine.Open()
+	for i := 0; i < 4; i++ {
+		loadTable(t, db, fmt.Sprintf("s%d", i), 12)
+	}
+	m := New(db, Config{
+		Sched:     sched.Config{RateC: 5, Quantum: 0.25, MPL: 3},
+		TickEvery: time.Millisecond,
+		TimeScale: 50,
+	})
+	defer m.Close()
+
+	const (
+		writers          = 2
+		readers          = 32
+		queriesPerWriter = 25
+	)
+	var lastID atomic.Int64
+	stop := make(chan struct{})
+
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for k := 0; k < queriesPerWriter; k++ {
+				v, err := m.Submit(SubmitRequest{
+					Label:    fmt.Sprintf("w%d-%d", w, k),
+					SQL:      fmt.Sprintf("SELECT SUM(a) FROM s%d", (w+k)%4),
+					Priority: k % 3,
+					Delay:    float64(k%3) * 0.05, // mix immediate and scheduled arrivals
+				})
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				lastID.Store(int64(v.ID))
+				switch k % 5 {
+				case 1:
+					_ = m.Block(v.ID) // may race a finish: failures are fine
+					_ = m.Unblock(v.ID)
+				case 2:
+					_ = m.Abort(v.ID)
+				case 3:
+					_ = m.SetPriority(v.ID, (k+1)%3)
+				}
+				time.Sleep(300 * time.Microsecond)
+			}
+		}(w)
+	}
+
+	var readerWG sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := int(lastID.Load())
+				if id == 0 {
+					id = 1
+				}
+				switch (i + r) % 6 {
+				case 0:
+					if _, err := m.Progress(id); err != nil && !errors.Is(err, ErrNotFound) {
+						t.Errorf("progress: %v", err)
+						return
+					}
+				case 1:
+					if _, err := m.Overview(); err != nil {
+						t.Errorf("overview: %v", err)
+						return
+					}
+				case 2:
+					m.Events(0)
+				case 3:
+					if _, err := m.Diagram(40); err != nil {
+						t.Errorf("diagram: %v", err)
+						return
+					}
+				case 4:
+					_ = m.Metrics().Text()
+				case 5:
+					// Domain errors (e.g. fewer than two runnable queries)
+					// are expected while the workload churns; only a closed
+					// manager would be a bug here.
+					if _, err := m.SpeedUpOthers(); errors.Is(err, ErrClosed) {
+						t.Errorf("speedup-others: %v", err)
+						return
+					}
+				}
+				// Yield so 32 spinning pollers don't starve the writers and
+				// ticker on small GOMAXPROCS (CI runs this under -race on a
+				// single core).
+				runtime.Gosched()
+				if i%8 == 7 {
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+		}(r)
+	}
+
+	writerWG.Wait()
+	time.Sleep(50 * time.Millisecond) // let readers overlap the tail of the workload
+	close(stop)
+	readerWG.Wait()
+
+	ov, err := m.Overview()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.Now <= 0 {
+		t.Error("ticker never advanced the virtual clock under load")
+	}
+	_, hits, misses := m.metrics.readStats()
+	if hits+misses == 0 {
+		t.Error("read path never computed an estimate")
+	}
+	// The whole point of the refactor: far more polls than estimate
+	// computations. Every miss is one EstimateAll; everything else shared.
+	if misses > 0 && hits == 0 {
+		t.Errorf("cache never shared a computation: %d misses, %d hits", misses, hits)
+	}
+	text := m.Metrics().Text()
+	assertPrometheusText(t, text)
+}

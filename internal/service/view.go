@@ -45,7 +45,8 @@ type QueryView struct {
 
 // Overview is the whole system's live view.
 type Overview struct {
-	Now          float64     `json:"now"` // virtual clock, seconds
+	Now          float64     `json:"now"`   // virtual clock, seconds
+	Epoch        uint64      `json:"epoch"` // snapshot epoch this view was derived from
 	RateC        float64     `json:"rate_c"`
 	MPL          int         `json:"mpl"`
 	Quantum      float64     `json:"quantum"`
