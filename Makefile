@@ -8,9 +8,11 @@ build:
 test:
 	$(GO) test ./...
 
-# bench tracks the poll-path baseline committed in BENCH_pollpath.json.
+# bench tracks the poll-path baseline committed in BENCH_pollpath.json and
+# the tick-path baseline (MPL 1/4/16 × worker counts) in BENCH_tickpath.json.
 bench:
 	$(GO) test -run '^$$' -bench ConcurrentPoll -benchmem ./internal/service/
+	$(GO) test -run '^$$' -bench ParallelTick -benchmem ./internal/sched/
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
@@ -31,3 +33,10 @@ serve:
 # split of `race` cannot silently drop them from under the detector.
 ci: vet build race
 	$(GO) test -race ./internal/service/... ./internal/sched/... ./cmd/mqpi-serve/...
+	# Three-phase tick determinism: the differential + stress suite must hold
+	# on one core and on several, since goroutine interleaving (and therefore
+	# any illegal cross-runner ordering dependence) differs between the two.
+	# -count=1: GOMAXPROCS is not in the test cache key, so without it the
+	# second run would silently replay the first run's cached verdict.
+	GOMAXPROCS=1 $(GO) test -race -count=1 -run 'TestParallelTick|TestEventsDeterministicAcrossWorkers' ./internal/sched/ ./internal/service/
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestParallelTick|TestEventsDeterministicAcrossWorkers' ./internal/sched/ ./internal/service/

@@ -11,6 +11,9 @@
 //
 // -parallel fans the independent runs of the sweep experiments across worker
 // goroutines (0 = GOMAXPROCS); figures are bit-identical at every setting.
+// -workers sets the scheduler's execute-phase worker pool inside each run
+// (runners step concurrently behind the serial credit plane); figures are
+// likewise bit-identical at every setting.
 // -json writes each figure as one JSON object per line on stdout (headlines
 // and timings move to stderr), ready for machine consumption.
 package main
@@ -37,6 +40,7 @@ func main() {
 		runs     = flag.Int("runs", 0, "runs per data point (0 = experiment default)")
 		rows     = flag.Int("lineitem", 0, "lineitem row count (0 = experiment default)")
 		parallel = flag.Int("parallel", 0, "worker goroutines for independent runs (0 = GOMAXPROCS, 1 = sequential)")
+		workers  = flag.Int("workers", 0, "execute-phase worker goroutines per scheduler tick (0/1 = inline serial; results identical at every setting)")
 		jsonOut  = flag.Bool("json", false, "emit figures as JSON lines on stdout (headlines go to stderr)")
 		verbose  = flag.Bool("v", false, "print timing for each experiment")
 		csvDir   = flag.String("csv", "", "also write each figure as CSV into this directory")
@@ -120,7 +124,7 @@ func main() {
 	})
 
 	step("mcq", func() error {
-		res, err := experiments.RunMCQ(experiments.MCQConfig{Seed: *seed, Data: data})
+		res, err := experiments.RunMCQ(experiments.MCQConfig{Seed: *seed, Data: data, Workers: *workers})
 		if err != nil {
 			return err
 		}
@@ -136,7 +140,7 @@ func main() {
 	})
 
 	step("naq", func() error {
-		res, err := experiments.RunNAQ(experiments.NAQConfig{Seed: *seed, Data: data})
+		res, err := experiments.RunNAQ(experiments.NAQConfig{Seed: *seed, Data: data, Workers: *workers})
 		if err != nil {
 			return err
 		}
@@ -148,7 +152,7 @@ func main() {
 	})
 
 	step("scq", func() error {
-		res, err := experiments.RunSCQ(experiments.SCQConfig{Seed: *seed, Runs: *runs, Data: data, Parallel: *parallel})
+		res, err := experiments.RunSCQ(experiments.SCQConfig{Seed: *seed, Runs: *runs, Data: data, Parallel: *parallel, Workers: *workers})
 		if err != nil {
 			return err
 		}
@@ -162,7 +166,7 @@ func main() {
 	})
 
 	step("scq-lambda", func() error {
-		res, err := experiments.RunSCQLambdaErr(experiments.SCQConfig{Seed: *seed, Runs: *runs, Data: data, Parallel: *parallel})
+		res, err := experiments.RunSCQLambdaErr(experiments.SCQConfig{Seed: *seed, Runs: *runs, Data: data, Parallel: *parallel, Workers: *workers})
 		if err != nil {
 			return err
 		}
@@ -175,7 +179,7 @@ func main() {
 	})
 
 	step("scq-traj", func() error {
-		res, err := experiments.RunSCQTrajectory(experiments.SCQConfig{Seed: *seed, Data: data}, nil)
+		res, err := experiments.RunSCQTrajectory(experiments.SCQConfig{Seed: *seed, Data: data, Workers: *workers}, nil)
 		if err != nil {
 			return err
 		}
@@ -202,7 +206,7 @@ func main() {
 	})
 
 	step("speedup", func() error {
-		res, err := experiments.RunSpeedup(experiments.SpeedupConfig{Seed: *seed, Runs: *runs, Data: data, Parallel: *parallel})
+		res, err := experiments.RunSpeedup(experiments.SpeedupConfig{Seed: *seed, Runs: *runs, Data: data, Parallel: *parallel, Workers: *workers})
 		if err != nil {
 			return err
 		}
@@ -215,7 +219,7 @@ func main() {
 	})
 
 	step("priority", func() error {
-		res, err := experiments.RunPriority(experiments.PriorityConfig{Seed: *seed, Runs: *runs, Data: data, Parallel: *parallel})
+		res, err := experiments.RunPriority(experiments.PriorityConfig{Seed: *seed, Runs: *runs, Data: data, Parallel: *parallel, Workers: *workers})
 		if err != nil {
 			return err
 		}
@@ -227,7 +231,7 @@ func main() {
 	})
 
 	step("mpl", func() error {
-		res, err := experiments.RunMPLSweep(experiments.MPLSweepConfig{Seed: *seed, Runs: *runs, Data: data, Parallel: *parallel})
+		res, err := experiments.RunMPLSweep(experiments.MPLSweepConfig{Seed: *seed, Runs: *runs, Data: data, Parallel: *parallel, Workers: *workers})
 		if err != nil {
 			return err
 		}
@@ -235,7 +239,7 @@ func main() {
 	})
 
 	step("robust", func() error {
-		res, err := experiments.RunRobustness(experiments.RobustnessConfig{Seed: *seed, Runs: *runs, Data: data, Parallel: *parallel})
+		res, err := experiments.RunRobustness(experiments.RobustnessConfig{Seed: *seed, Runs: *runs, Data: data, Parallel: *parallel, Workers: *workers})
 		if err != nil {
 			return err
 		}
@@ -247,7 +251,7 @@ func main() {
 	})
 
 	step("maint", func() error {
-		res, err := experiments.RunMaintenance(experiments.MaintenanceConfig{Seed: *seed, Runs: *runs, Data: data, Parallel: *parallel})
+		res, err := experiments.RunMaintenance(experiments.MaintenanceConfig{Seed: *seed, Runs: *runs, Data: data, Parallel: *parallel, Workers: *workers})
 		if err != nil {
 			return err
 		}

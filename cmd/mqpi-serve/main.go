@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -31,15 +32,17 @@ import (
 )
 
 type options struct {
-	addr      string
-	rateC     float64
-	mpl       int
-	quantum   float64
-	timeScale float64
-	tickEvery time.Duration
-	eventCap  int
-	demo      bool
-	demoRows  int
+	addr         string
+	rateC        float64
+	mpl          int
+	quantum      float64
+	timeScale    float64
+	tickEvery    time.Duration
+	eventCap     int
+	workers      int
+	execDeadline time.Duration
+	demo         bool
+	demoRows     int
 }
 
 func parseFlags(args []string) (options, error) {
@@ -52,6 +55,8 @@ func parseFlags(args []string) (options, error) {
 	fs.Float64Var(&o.timeScale, "timescale", 1, "virtual seconds per wall second")
 	fs.DurationVar(&o.tickEvery, "tick", 50*time.Millisecond, "wall interval between scheduler advances")
 	fs.IntVar(&o.eventCap, "events", 128, "events retained per query")
+	fs.IntVar(&o.workers, "workers", runtime.NumCPU(), "execute-phase worker goroutines per tick (1 = serial; results identical at every setting)")
+	fs.DurationVar(&o.execDeadline, "exec-deadline", 2*time.Second, "max wait for /exec DDL/DML to reach the owner before 409 (0 = wait forever)")
 	fs.BoolVar(&o.demo, "demo", false, "preload the scaled-down Table 1 dataset (lineitem, part_1..3)")
 	fs.IntVar(&o.demoRows, "rows", 30000, "lineitem rows for -demo")
 	if err := fs.Parse(args); err != nil {
@@ -82,10 +87,11 @@ func buildServer(o options) (*service.Manager, http.Handler, error) {
 		db = engine.Open()
 	}
 	m := service.New(db, service.Config{
-		Sched:     sched.Config{RateC: o.rateC, MPL: o.mpl, Quantum: o.quantum},
-		TickEvery: o.tickEvery,
-		TimeScale: o.timeScale,
-		EventCap:  o.eventCap,
+		Sched:        sched.Config{RateC: o.rateC, MPL: o.mpl, Quantum: o.quantum, Workers: o.workers},
+		TickEvery:    o.tickEvery,
+		TimeScale:    o.timeScale,
+		EventCap:     o.eventCap,
+		ExecDeadline: o.execDeadline,
 	})
 	return m, service.NewHandler(m), nil
 }
@@ -104,8 +110,8 @@ func run(args []string) error {
 	srv := &http.Server{Addr: o.addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("mqpi-serve listening on %s (C=%g U/s, quantum=%gs, timescale=%g, demo=%v)",
-		o.addr, o.rateC, o.quantum, o.timeScale, o.demo)
+	log.Printf("mqpi-serve listening on %s (C=%g U/s, quantum=%gs, timescale=%g, workers=%d, demo=%v)",
+		o.addr, o.rateC, o.quantum, o.timeScale, o.workers, o.demo)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -51,7 +51,14 @@ type Observer interface {
 	OnDelete(table string, rid storage.RowID) error
 }
 
-// Catalog is the namespace of tables. It is safe for concurrent use.
+// Catalog is the namespace of tables. The namespace itself (lookups,
+// creation, drops, stats installation) is guarded by an RWMutex and safe for
+// concurrent use. The *contents* of a Table — its Relation pages and B+-tree
+// nodes — are not covered by that lock: they are read-shared during query
+// execution (plan nodes capture *Table pointers at plan time and scan them
+// lock-free from the parallel execute phase), so Insert/Delete and index
+// builds must never overlap query execution. The service layer enforces this
+// by running DML on the scheduler's owner goroutine, strictly between ticks.
 type Catalog struct {
 	mu       sync.RWMutex
 	tables   map[string]*Table

@@ -16,6 +16,13 @@ import (
 )
 
 // DB is an in-memory SQL database instance.
+//
+// Prepared runners may be stepped concurrently by distinct goroutines — all
+// execution-time reads (heap pages, index probes, statistics) are lock-free
+// and read-shared. Exec (DDL/DML) mutates that shared state and must be
+// serialized against every in-flight runner step: callers either own all
+// runners (single goroutine) or route Exec through the service owner
+// goroutine, which never overlaps a tick's parallel execute phase.
 type DB struct {
 	cat     *catalog.Catalog
 	planner *plan.Planner

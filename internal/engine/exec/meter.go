@@ -3,6 +3,20 @@
 // materialization page) charges 1 U against the query's WorkMeter. Execution
 // is resumable in budgeted steps so the multi-query scheduler can interleave
 // queries under weighted fair sharing.
+//
+// # Concurrency model
+//
+// Everything a running query mutates is query-private: the Runner, its
+// operator tree (including operators built on the fly for scalar sub-query
+// evaluation), its Ctx/WorkMeter, and any materialized state (sort buffers,
+// aggregation groups, collected rows). Everything it reads through the plan
+// is shared but immutable during execution: plan nodes (costs are
+// precomputed), catalog tables, heap pages, and B+-tree nodes. Distinct
+// Runners may therefore be stepped by distinct goroutines concurrently —
+// the scheduler's parallel execute phase relies on this — provided no DDL or
+// DML mutates the underlying relations while any runner is mid-step. The
+// layers above enforce that: the service runs DML on the owner goroutine,
+// which only executes between ticks, never during the parallel phase.
 package exec
 
 // WorkMeter accumulates the work units (U's) a query has performed.

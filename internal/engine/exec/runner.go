@@ -12,6 +12,13 @@ import (
 // estimation of [Luo et al., SIGMOD'04/ICDE'05] that the paper's Assumption 2
 // relies on: the optimizer estimate early on, interpolation from observed
 // progress once enough of the driver input has been consumed.
+//
+// A Runner is single-owner: at most one goroutine may call its methods at a
+// time, and a Step must complete before any other method (WorkDone,
+// EstRemaining, Progress, another Step) is invoked — possibly from a
+// different goroutine, with an intervening happens-before edge. Distinct
+// Runners are independent and may be stepped concurrently; they share only
+// read-only engine state (see the package comment).
 type Runner struct {
 	root   Operator
 	plan   plan.Node

@@ -27,6 +27,13 @@ type node struct {
 }
 
 // BTree is a B+-tree index on a single int64 column.
+//
+// Concurrency: SearchEq and SearchRange are pure traversals — no node is
+// mutated, no iterator state lives on the tree — so any number of goroutines
+// may probe concurrently (the parallel execute phase does). Insert restructures
+// nodes in place and must be exclusive: no probe or other Insert may run
+// concurrently with it. DML is serialized against query execution by the
+// layers above.
 type BTree struct {
 	name   string
 	table  string

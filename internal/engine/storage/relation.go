@@ -27,6 +27,13 @@ func (r RowID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
 
 // Relation is a paged heap of rows. Inserts append; deletes tombstone the
 // slot (scans skip dead slots, and index probes verify liveness).
+//
+// Concurrency: the read paths (NumRows, NumSlots, NumPages, Page, Fetch,
+// Live) never mutate the relation and are safe for any number of concurrent
+// readers — the scheduler's parallel execute phase scans relations from many
+// goroutines at once. Insert and Delete are single-writer and must not run
+// concurrently with each other or with any reader; the engine's upper layers
+// serialize DML against query execution.
 type Relation struct {
 	name   string
 	schema types.Schema

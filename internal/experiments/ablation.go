@@ -38,7 +38,8 @@ func RunMCQAblation(cfg MCQConfig, optimizerOnly bool) (*AblationResult, error) 
 	if err != nil {
 		return nil, err
 	}
-	srv := sched.New(sched.Config{RateC: cfg.RateC, Quantum: cfg.Quantum})
+	srv := sched.New(sched.Config{RateC: cfg.RateC, Quantum: cfg.Quantum, Workers: cfg.Workers})
+	defer srv.Close()
 	queries := make([]*sched.Query, 0, cfg.NumQueries)
 	for i := 1; i <= cfg.NumQueries; i++ {
 		q, err := buildPartQuery(ds, srv, i, zipf.Sample(rng), 0)

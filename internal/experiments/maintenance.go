@@ -24,6 +24,9 @@ type MaintenanceConfig struct {
 	MaxN           int     // default 20
 	RateC          float64 // default 32 U/s
 	Quantum        float64 // default 1 s
+	// Workers sets the scheduler's execute-phase worker count
+	// (0/1 = inline serial). Results are bit-identical at every setting.
+	Workers int
 	WarmupFinishes int     // completions before rt; default 25
 	// TFracs are the t/tfinish points of Figure 11's x axis.
 	TFracs []float64
@@ -235,7 +238,8 @@ func RunMaintenance(cfg MaintenanceConfig) (*MaintenanceResult, error) {
 // snapshots of the queries running at rt, with true costs filled in from the
 // post-rt drain.
 func runMaintenanceOnce(ds *workload.Dataset, cfg MaintenanceConfig, zipf *workload.Zipf, rng *rand.Rand) ([]maintSnapshot, error) {
-	srv := sched.New(sched.Config{RateC: cfg.RateC, Quantum: cfg.Quantum})
+	srv := sched.New(sched.Config{RateC: cfg.RateC, Quantum: cfg.Quantum, Workers: cfg.Workers})
+	defer srv.Close()
 	// Distinct table-index space per run so datasets can be reused.
 	nextIdx := 1
 	var created []int

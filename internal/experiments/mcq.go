@@ -19,6 +19,9 @@ type MCQConfig struct {
 	MaxN        int     // default 150
 	RateC       float64 // default 200 U/s
 	Quantum     float64 // default 0.5 s
+	// Workers sets the scheduler's execute-phase worker count
+	// (0/1 = inline serial). Results are bit-identical at every setting.
+	Workers int
 	SampleEvery float64 // default 5 s
 	// Templates are assigned round-robin to the queries (default: the
 	// paper's published Q_i only). Mixing templates reproduces the paper's
@@ -83,7 +86,8 @@ func RunMCQ(cfg MCQConfig) (*MCQResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv := sched.New(sched.Config{RateC: cfg.RateC, Quantum: cfg.Quantum})
+	srv := sched.New(sched.Config{RateC: cfg.RateC, Quantum: cfg.Quantum, Workers: cfg.Workers})
+	defer srv.Close()
 
 	templates := cfg.Templates
 	if len(templates) == 0 {

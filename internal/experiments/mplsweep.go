@@ -23,6 +23,9 @@ type MPLSweepConfig struct {
 	ZipfA      float64 // default 1.2
 	RateC      float64 // default 100
 	Quantum    float64 // default 0.5
+	// Workers sets the scheduler's execute-phase worker count
+	// (0/1 = inline serial). Results are bit-identical at every setting.
+	Workers int
 	// MPLs are the admission limits to sweep (default 2, 4, 8, 0=unlimited).
 	MPLs []int
 	Data workload.DataConfig
@@ -98,7 +101,8 @@ func RunMPLSweep(cfg MPLSweepConfig) (*MPLSweepResult, error) {
 			return mplCell{}, err
 		}
 		rng := rand.New(rand.NewSource(cfg.Seed + off))
-		srv := sched.New(sched.Config{RateC: cfg.RateC, MPL: mpl, Quantum: cfg.Quantum})
+		srv := sched.New(sched.Config{RateC: cfg.RateC, MPL: mpl, Quantum: cfg.Quantum, Workers: cfg.Workers})
+	defer srv.Close()
 		var queries []*sched.Query
 		for i := 1; i <= cfg.NumQueries; i++ {
 			q, err := buildPartQuery(dsRun, srv, i, zipf.Sample(rng), 0)

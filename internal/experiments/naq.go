@@ -18,6 +18,9 @@ type NAQConfig struct {
 	MPL         int     // default 2
 	RateC       float64 // default 70 U/s
 	Quantum     float64 // default 0.5 s
+	// Workers sets the scheduler's execute-phase worker count
+	// (0/1 = inline serial). Results are bit-identical at every setting.
+	Workers int
 	SampleEvery float64 // default 5 s
 	Data        workload.DataConfig
 }
@@ -77,7 +80,8 @@ func RunNAQ(cfg NAQConfig) (*NAQResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv := sched.New(sched.Config{RateC: cfg.RateC, MPL: cfg.MPL, Quantum: cfg.Quantum})
+	srv := sched.New(sched.Config{RateC: cfg.RateC, MPL: cfg.MPL, Quantum: cfg.Quantum, Workers: cfg.Workers})
+	defer srv.Close()
 
 	sizes := []int{cfg.N1, cfg.N2, cfg.N3}
 	queries := make([]*sched.Query, 3)

@@ -25,6 +25,9 @@ type PriorityConfig struct {
 	ZipfA       float64 // default 1.2
 	RateC       float64 // default 150
 	Quantum     float64 // default 0.5
+	// Workers sets the scheduler's execute-phase worker count
+	// (0/1 = inline serial). Results are bit-identical at every setting.
+	Workers int
 	SampleEvery float64 // default 5
 	Data        workload.DataConfig
 
@@ -140,8 +143,10 @@ func runPriorityOnce(ds *workload.Dataset, cfg PriorityConfig, rngSeed int64) (*
 	srv := sched.New(sched.Config{
 		RateC:   cfg.RateC,
 		Quantum: cfg.Quantum,
+		Workers: cfg.Workers,
 		Weights: map[int]float64{lowPri: cfg.LowWeight, highPri: cfg.HighWeight},
 	})
+	defer srv.Close()
 
 	var queries []*sched.Query
 	idx := 1

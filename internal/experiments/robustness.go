@@ -24,6 +24,9 @@ type RobustnessConfig struct {
 	ZipfA      float64 // default 1.2
 	RateC      float64 // nominal C; default 150
 	Quantum    float64 // default 0.5
+	// Workers sets the scheduler's execute-phase worker count
+	// (0/1 = inline serial). Results are bit-identical at every setting.
+	Workers int
 	// Contention is the per-extra-query throughput penalty: with n runnable
 	// queries the actual rate is C × (1 − Contention × (n−1)/n). Default 0.3
 	// (30% total slowdown at high concurrency).
@@ -108,7 +111,8 @@ func RunRobustness(cfg RobustnessConfig) (*RobustnessResult, error) {
 			}
 			return cfg.RateC * (1 - cfg.Contention*float64(runnable-1)/float64(runnable))
 		}
-		srv := sched.New(sched.Config{RateC: cfg.RateC, RateFunc: rateFunc, Quantum: cfg.Quantum})
+		srv := sched.New(sched.Config{RateC: cfg.RateC, RateFunc: rateFunc, Quantum: cfg.Quantum, Workers: cfg.Workers})
+	defer srv.Close()
 		var queries []*sched.Query
 		for i := 1; i <= cfg.NumQueries; i++ {
 			q, err := buildPartQuery(dsRun, srv, i, zipf.Sample(rng), 0)

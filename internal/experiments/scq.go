@@ -23,6 +23,9 @@ type SCQConfig struct {
 	MaxN       int     // default 20
 	RateC      float64 // default 46 U/s (puts the stability knee λ*=C/c̄ near the paper's 0.07)
 	Quantum    float64 // default 1 s
+	// Workers sets the scheduler's execute-phase worker count
+	// (0/1 = inline serial). Results are bit-identical at every setting.
+	Workers int
 
 	// Lambdas is the λ sweep of Figures 6-7.
 	Lambdas []float64
@@ -106,7 +109,8 @@ func runSCQOnce(ds *workload.Dataset, cfg SCQConfig, lambda float64, lambdaPrime
 	if err != nil {
 		return nil, err
 	}
-	srv := sched.New(sched.Config{RateC: cfg.RateC, Quantum: cfg.Quantum})
+	srv := sched.New(sched.Config{RateC: cfg.RateC, Quantum: cfg.Quantum, Workers: cfg.Workers})
+	defer srv.Close()
 
 	var created []int
 	defer func() {
@@ -460,7 +464,8 @@ func RunSCQTrajectory(cfg SCQConfig, lambdaPrimes []float64) (*SCQTrajectoryResu
 	cbar := cm.Cost(zipf.Mean())
 	rng := rand.New(rand.NewSource(cfg.Seed + 777))
 
-	srv := sched.New(sched.Config{RateC: cfg.RateC, Quantum: cfg.Quantum})
+	srv := sched.New(sched.Config{RateC: cfg.RateC, Quantum: cfg.Quantum, Workers: cfg.Workers})
+	defer srv.Close()
 	initial := make([]*sched.Query, 0, cfg.NumInitial)
 	for i := 1; i <= cfg.NumInitial; i++ {
 		q, err := buildPartQuery(ds, srv, i, zipf.Sample(rng), 0)

@@ -23,6 +23,9 @@ type SpeedupConfig struct {
 	ZipfA      float64 // default 1.2
 	RateC      float64 // default 80
 	Quantum    float64 // default 0.5
+	// Workers sets the scheduler's execute-phase worker count
+	// (0/1 = inline serial). Results are bit-identical at every setting.
+	Workers int
 	Data       workload.DataConfig
 
 	// Parallel caps the worker goroutines used for independent runs:
@@ -97,7 +100,8 @@ func speedupScenario(ds *workload.Dataset, cfg SpeedupConfig, seed int64) (*sche
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := sched.New(sched.Config{RateC: cfg.RateC, Quantum: cfg.Quantum})
+	srv := sched.New(sched.Config{RateC: cfg.RateC, Quantum: cfg.Quantum, Workers: cfg.Workers})
+	defer srv.Close()
 	type spec struct {
 		n       int
 		prework float64

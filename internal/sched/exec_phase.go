@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the execute phase of the three-phase tick.
+//
+// Tick decomposes each scheduling round into:
+//
+//	(1) allocate — the owner fixes every runnable query's credit for the
+//	    round from weights and priorities, serially and purely in virtual
+//	    time (the serial credit plane);
+//	(2) execute  — every runner is stepped against its pre-computed credit.
+//	    Runners are per-query and step only read-shared engine state
+//	    (catalog lookups, heap pages, B+-tree probes), so with
+//	    Config.Workers > 1 the steps fan out across a persistent worker
+//	    pool and real execution scales with cores;
+//	(3) settle   — the owner folds consumed/leftover work back in admission
+//	    order, retires finishers, and redistributes returned credit.
+//
+// Because credits are fixed before any runner moves and settlement folds
+// results in a worker-independent order, virtual-time outcomes are
+// bit-identical to the serial scheduler at every worker count.
+
+// stepResult is the execute phase's per-query outcome, recorded by whichever
+// worker stepped the runner and consumed by the owner during settlement.
+type stepResult struct {
+	consumed float64
+	done     bool
+	err      error
+}
+
+// TickStats describes the execution-plane work of the most recent Tick.
+type TickStats struct {
+	// Rounds counts allocate→execute→settle rounds, summed over the tick's
+	// arrival-bounded segments (at least one per segment with runnable work,
+	// plus one per round of work-conserving credit redistribution).
+	Rounds int
+	// Steps counts runner Step calls issued across all rounds.
+	Steps int
+	// ExecuteSeconds is the wall-clock time spent inside the execute phase.
+	ExecuteSeconds float64
+}
+
+// TickStats returns the stats of the most recent Tick.
+func (s *Server) TickStats() TickStats { return s.lastStats }
+
+// Workers returns the effective execute-phase worker count (at least 1).
+func (s *Server) Workers() int {
+	if s.cfg.Workers > 1 {
+		return s.cfg.Workers
+	}
+	return 1
+}
+
+// executePhase steps every query in runnable against its pre-computed credit
+// and returns one result per query, index-aligned with runnable. The result
+// slice is a per-server scratch buffer, valid until the next round.
+func (s *Server) executePhase(runnable []*Query) []stepResult {
+	if cap(s.stepBuf) < len(runnable) {
+		s.stepBuf = make([]stepResult, len(runnable))
+	}
+	results := s.stepBuf[:len(runnable)]
+	start := time.Now()
+	if s.cfg.Workers > 1 && len(runnable) > 1 {
+		if s.pool == nil {
+			s.pool = newExecPool(s.cfg.Workers)
+		}
+		s.pool.run(runnable, results)
+	} else {
+		b := execBatch{queries: runnable, results: results}
+		b.drain()
+	}
+	s.lastStats.Rounds++
+	s.lastStats.Steps += len(runnable)
+	s.lastStats.ExecuteSeconds += time.Since(start).Seconds()
+	return results
+}
+
+// execBatch is one execute round's shared work list. Workers claim indexes
+// with an atomic counter, step the runner, and write only their own result
+// slot; each worker touches a disjoint set of (query, slot) pairs, and the
+// owner's wg.Wait gives it a happens-before edge on every slot before
+// settlement reads them.
+type execBatch struct {
+	queries []*Query
+	results []stepResult
+	next    atomic.Int64
+	wg      sync.WaitGroup
+}
+
+func (b *execBatch) drain() {
+	for {
+		i := int(b.next.Add(1)) - 1
+		if i >= len(b.queries) {
+			return
+		}
+		q := b.queries[i]
+		// q.credit was fixed by the allocate phase and is read-only until
+		// settlement; Step mutates only the runner, which belongs to exactly
+		// one query.
+		consumed, done, err := q.Runner.Step(q.credit)
+		b.results[i] = stepResult{consumed: consumed, done: done, err: err}
+	}
+}
+
+// execPool is the persistent execute-phase worker pool: workers-1 helper
+// goroutines that live across ticks (the ticking goroutine itself is the
+// final worker). It is created lazily on the first parallel execute phase
+// and released by Server.Close.
+type execPool struct {
+	helpers int
+	batches chan *execBatch
+	quit    chan struct{}
+	once    sync.Once
+}
+
+func newExecPool(workers int) *execPool {
+	p := &execPool{
+		helpers: workers - 1,
+		batches: make(chan *execBatch),
+		quit:    make(chan struct{}),
+	}
+	for i := 0; i < p.helpers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *execPool) worker() {
+	for {
+		select {
+		case b := <-p.batches:
+			b.drain()
+			b.wg.Done()
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+func (p *execPool) close() { p.once.Do(func() { close(p.quit) }) }
+
+// run executes the batch across the helper goroutines plus the calling
+// goroutine, returning once every result slot is filled. On a closed pool
+// the caller drains the whole batch alone, so ticking a closed server stays
+// correct (just serial).
+func (p *execPool) run(queries []*Query, results []stepResult) {
+	b := &execBatch{queries: queries, results: results}
+	n := p.helpers
+	if n > len(queries)-1 {
+		n = len(queries) - 1
+	}
+	for i := 0; i < n; i++ {
+		b.wg.Add(1)
+		select {
+		case p.batches <- b:
+		case <-p.quit:
+			b.wg.Done()
+			n = 0
+		}
+	}
+	b.drain()
+	b.wg.Wait()
+}

@@ -1,0 +1,318 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"mqpi/internal/engine"
+	"mqpi/internal/workload"
+)
+
+// The three-phase tick's contract: virtual-time outcomes are bit-identical
+// at every worker count. These tests pin it differentially (lockstep
+// snapshot comparison across worker counts under random workloads) and under
+// the race detector (16+ runners stepped concurrently over one shared
+// dataset with scans, index probes, and correlated sub-queries).
+
+// workerCounts are the execute-phase widths every differential test compares:
+// serial, minimal parallelism, and whatever the host offers.
+func workerCounts() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// schedOp is one scripted mutation applied identically to every server of a
+// differential trial, before the tick-th Tick.
+type schedOp struct {
+	tick int
+	kind string // "block" | "unblock" | "abort" | "priority"
+	id   int
+	prio int
+}
+
+// buildTrial constructs a fresh db + server + workload for one (trial,
+// workers) pair. All randomness is drawn from a seed that depends only on
+// the trial, so every worker count sees an identical universe.
+func buildTrial(t *testing.T, trial, workers int) (*Server, []*Query) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(1000 + trial)))
+	db := engine.Open()
+	quantum := []float64{0.25, 0.5, 1}[rng.Intn(3)]
+	mpl := []int{0, 0, 2, 3}[rng.Intn(4)]
+	srv := New(Config{
+		RateC:   5 + float64(rng.Intn(20)),
+		Quantum: quantum,
+		MPL:     mpl,
+		Weights: map[int]float64{0: 1, 1: 2, 2: 4},
+		Workers: workers,
+	})
+	t.Cleanup(srv.Close)
+	n := 4 + rng.Intn(8)
+	queries := make([]*Query, n)
+	for i := range queries {
+		pages := 1 + rng.Intn(24)
+		r := prepare(t, db, fmt.Sprintf("w%d_t%d_%d", workers, trial, i), pages)
+		q := srv.NewQuery(fmt.Sprintf("q%d", i), "", rng.Intn(3), r)
+		queries[i] = q
+		if rng.Intn(4) == 0 {
+			at := float64(1+rng.Intn(4)) * quantum
+			if rng.Intn(2) == 0 {
+				at += 0.5 * quantum
+			}
+			srv.ScheduleArrival(at, q)
+		} else {
+			srv.Submit(q)
+		}
+	}
+	return srv, queries
+}
+
+// trialScript derives the mutation script for a trial from the same seed
+// space, independent of any server state, so it applies identically at every
+// worker count.
+func trialScript(trial, nQueries, ticks int) []schedOp {
+	rng := rand.New(rand.NewSource(int64(5000 + trial)))
+	var ops []schedOp
+	for k := 0; k < 6; k++ {
+		id := 1 + rng.Intn(nQueries)
+		op := schedOp{tick: rng.Intn(ticks), id: id}
+		switch rng.Intn(4) {
+		case 0:
+			op.kind = "block"
+		case 1:
+			op.kind = "unblock"
+		case 2:
+			op.kind = "abort"
+		default:
+			op.kind = "priority"
+			op.prio = rng.Intn(3)
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+func applyOp(srv *Server, op schedOp) {
+	// Errors (bad state for the transition) are part of the script: they
+	// must occur identically at every worker count, so they are ignored, not
+	// fatal.
+	switch op.kind {
+	case "block":
+		_ = srv.Block(op.id)
+	case "unblock":
+		_ = srv.Unblock(op.id)
+	case "abort":
+		_ = srv.Abort(op.id)
+	case "priority":
+		_ = srv.SetPriority(op.id, op.prio)
+	}
+}
+
+// bitsEqual compares floats for bit identity (NaN-safe, -0 vs +0 strict).
+func bitsEqual(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// diffSnapshots reports the first field-level divergence between two
+// snapshots, or "" if they are bit-identical.
+func diffSnapshots(a, b Snapshot) string {
+	if !bitsEqual(a.Now, b.Now) {
+		return fmt.Sprintf("Now %v vs %v", a.Now, b.Now)
+	}
+	lists := []struct {
+		name string
+		x, y []QueryInfo
+	}{
+		{"Running", a.Running, b.Running},
+		{"Queued", a.Queued, b.Queued},
+		{"Scheduled", a.Scheduled, b.Scheduled},
+		{"Done", a.Done, b.Done},
+	}
+	for _, l := range lists {
+		if len(l.x) != len(l.y) {
+			return fmt.Sprintf("%s length %d vs %d", l.name, len(l.x), len(l.y))
+		}
+		for i := range l.x {
+			p, q := l.x[i], l.y[i]
+			switch {
+			case p.ID != q.ID:
+				return fmt.Sprintf("%s[%d].ID %d vs %d", l.name, i, p.ID, q.ID)
+			case p.Status != q.Status:
+				return fmt.Sprintf("%s[%d] (Q%d) status %v vs %v", l.name, i, p.ID, p.Status, q.Status)
+			case !bitsEqual(p.SubmitTime, q.SubmitTime):
+				return fmt.Sprintf("%s[%d] (Q%d) SubmitTime %v vs %v", l.name, i, p.ID, p.SubmitTime, q.SubmitTime)
+			case !bitsEqual(p.StartTime, q.StartTime):
+				return fmt.Sprintf("%s[%d] (Q%d) StartTime %v vs %v", l.name, i, p.ID, p.StartTime, q.StartTime)
+			case !bitsEqual(p.FinishTime, q.FinishTime):
+				return fmt.Sprintf("%s[%d] (Q%d) FinishTime %v vs %v", l.name, i, p.ID, p.FinishTime, q.FinishTime)
+			case !bitsEqual(p.Done, q.Done):
+				return fmt.Sprintf("%s[%d] (Q%d) Done %v vs %v", l.name, i, p.ID, p.Done, q.Done)
+			case !bitsEqual(p.Remaining, q.Remaining):
+				return fmt.Sprintf("%s[%d] (Q%d) Remaining %v vs %v", l.name, i, p.ID, p.Remaining, q.Remaining)
+			case !bitsEqual(p.Speed, q.Speed):
+				return fmt.Sprintf("%s[%d] (Q%d) Speed %v vs %v", l.name, i, p.ID, p.Speed, q.Speed)
+			case p.Err != q.Err:
+				return fmt.Sprintf("%s[%d] (Q%d) Err %q vs %q", l.name, i, p.ID, p.Err, q.Err)
+			}
+		}
+	}
+	return ""
+}
+
+// TestParallelTickLockstepDifferential drives identical random workloads —
+// mixed priorities, MPL limits, mid-quantum arrivals, scripted
+// block/unblock/abort/priority mutations — on one server per worker count,
+// ticking them in lockstep and demanding bit-identical snapshots (including
+// unexported accrued credit) after every single tick.
+func TestParallelTickLockstepDifferential(t *testing.T) {
+	counts := workerCounts()
+	const trials, ticks = 8, 60
+	for trial := 0; trial < trials; trial++ {
+		srvs := make([]*Server, len(counts))
+		var nQueries int
+		for i, w := range counts {
+			srv, queries := buildTrial(t, trial, w)
+			srvs[i] = srv
+			nQueries = len(queries)
+		}
+		script := trialScript(trial, nQueries, ticks)
+		for tick := 0; tick < ticks; tick++ {
+			for _, op := range script {
+				if op.tick == tick {
+					for _, srv := range srvs {
+						applyOp(srv, op)
+					}
+				}
+			}
+			ref := srvs[0]
+			ref.Tick()
+			refSnap := ref.Snapshot()
+			for i := 1; i < len(srvs); i++ {
+				srvs[i].Tick()
+				if d := diffSnapshots(refSnap, srvs[i].Snapshot()); d != "" {
+					t.Fatalf("trial %d tick %d: workers=%d diverges from workers=1: %s",
+						trial, tick, counts[i], d)
+				}
+				for j, q := range ref.running {
+					if !bitsEqual(q.credit, srvs[i].running[j].credit) {
+						t.Fatalf("trial %d tick %d: workers=%d Q%d credit %v vs %v",
+							trial, tick, counts[i], q.ID, q.credit, srvs[i].running[j].credit)
+					}
+				}
+			}
+		}
+	}
+}
+
+// stressDataset builds the shared TPC-R-style dataset the stress runners
+// scan and probe. Kept small enough for -race, large enough that every tick
+// overlaps many concurrent steps.
+func stressDataset(t testing.TB) *workload.Dataset {
+	t.Helper()
+	ds, err := workload.BuildDataset(workload.DataConfig{LineitemRows: 8000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// stressServer submits nq mixed queries (the paper's correlated sub-query
+// over an index probe, the max-price variant, the group-count variant — all
+// driving seq scans of part_i plus B+-tree probes into lineitem) against a
+// shared dataset and returns the server.
+func stressServer(t testing.TB, ds *workload.Dataset, nq, workers int) *Server {
+	t.Helper()
+	srv := New(Config{RateC: 400, Quantum: 0.5, Workers: workers, Weights: map[int]float64{0: 1, 1: 2}})
+	templates := []workload.QueryTemplate{
+		workload.TemplateRetail, workload.TemplateMaxPrice, workload.TemplateGroupCount,
+	}
+	for i := 0; i < nq; i++ {
+		idx := 1 + i%4 // four part tables shared by the queries
+		sqlText := workload.QuerySQLVariant(idx, templates[i%len(templates)])
+		r, err := ds.DB.Prepare(sqlText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.CollectRows = false
+		srv.Submit(srv.NewQuery(fmt.Sprintf("stress%d", i), sqlText, i%2, r))
+	}
+	return srv
+}
+
+// TestParallelTickStressSharedDataset steps 16 runners concurrently over one
+// shared dataset to completion — under `make ci` this runs with -race at
+// GOMAXPROCS 1 and 4 — and cross-checks per-query work and finish times
+// bitwise against the serial scheduler.
+func TestParallelTickStressSharedDataset(t *testing.T) {
+	const nq = 16
+	ds := stressDataset(t)
+	for i := 0; i < 4; i++ {
+		if err := ds.CreatePartTable(1+i, 2+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	workers := runtime.NumCPU()
+	if workers < 8 {
+		workers = 8 // oversubscribe: concurrency bugs don't need cores, just goroutines
+	}
+	serial := stressServer(t, ds, nq, 1)
+	parallel := stressServer(t, ds, nq, workers)
+	defer parallel.Close()
+
+	serial.RunUntilIdle(1e6)
+	parallel.RunUntilIdle(1e6)
+
+	if d := diffSnapshots(serial.Snapshot(), parallel.Snapshot()); d != "" {
+		t.Fatalf("workers=%d diverges from serial after full run: %s", workers, d)
+	}
+	if len(parallel.Finished()) != nq {
+		t.Fatalf("only %d/%d queries finished", len(parallel.Finished()), nq)
+	}
+	for _, q := range parallel.Finished() {
+		if q.Status != StatusFinished {
+			t.Errorf("Q%d ended %v: %v", q.ID, q.Status, q.Err)
+		}
+	}
+}
+
+// TestExecPoolClosedServerStillTicks pins the Close contract: a closed
+// server keeps ticking correctly, draining batches inline.
+func TestExecPoolClosedServerStillTicks(t *testing.T) {
+	db := engine.Open()
+	srv := New(Config{RateC: 10, Quantum: 0.5, Workers: 4})
+	q1 := srv.NewQuery("q1", "", 0, prepare(t, db, "cl1", 8))
+	q2 := srv.NewQuery("q2", "", 0, prepare(t, db, "cl2", 8))
+	srv.Submit(q1)
+	srv.Submit(q2)
+	srv.Tick() // spin the pool up
+	srv.Close()
+	srv.Close() // idempotent
+	srv.RunUntilIdle(1e6)
+	if q1.Status != StatusFinished || q2.Status != StatusFinished {
+		t.Fatalf("status after Close: %v, %v", q1.Status, q2.Status)
+	}
+}
+
+// TestTickStats sanity-checks the execution-plane observability: rounds and
+// steps accumulate over a tick and reset on the next.
+func TestTickStats(t *testing.T) {
+	db := engine.Open()
+	srv := New(Config{RateC: 10, Quantum: 0.5})
+	srv.Submit(srv.NewQuery("q1", "", 0, prepare(t, db, "ts1", 8)))
+	srv.Submit(srv.NewQuery("q2", "", 0, prepare(t, db, "ts2", 8)))
+	srv.Tick()
+	st := srv.TickStats()
+	if st.Rounds < 1 || st.Steps < 2 {
+		t.Fatalf("stats after busy tick: %+v", st)
+	}
+	srv.RunUntilIdle(1e6)
+	srv.Tick() // idle tick: no runnable work
+	if st := srv.TickStats(); st.Rounds != 0 || st.Steps != 0 {
+		t.Fatalf("stats after idle tick: %+v", st)
+	}
+}

@@ -8,6 +8,12 @@
 // Queries execute for real — each one drives an exec.Runner over actual
 // data — only the clock is virtual, which is what makes hour-long workloads
 // reproducible in milliseconds.
+//
+// Virtual time and real execution are decoupled by the three-phase tick
+// (allocate → execute → settle, see exec_phase.go): how much work each query
+// receives per quantum is decided serially from the paper's stage model, but
+// the work itself — stepping the runners — fans out across Config.Workers
+// goroutines. Outcomes are bit-identical at every worker count.
 package sched
 
 import (
@@ -114,6 +120,14 @@ type Config struct {
 	// SpeedWindow is the observation window for per-query speed in seconds
 	// (default 10).
 	SpeedWindow float64
+	// Workers caps the goroutines stepping runners during each tick's
+	// execute phase. 0 or 1 keeps execution inline on the ticking goroutine
+	// (the serial scheduler); n > 1 fans runner steps across a persistent
+	// pool of n workers (the ticking goroutine included), created lazily and
+	// released by Close. Virtual-time outcomes are bit-identical at every
+	// setting: credits are fixed by the serial allocate phase before any
+	// runner moves, and settlement folds results in admission order.
+	Workers int
 }
 
 func (c *Config) withDefaults() Config {
@@ -151,6 +165,12 @@ func (h *arrivalHeap) Pop() interface{} {
 }
 
 // Server is the simulated multi-query RDBMS.
+//
+// All methods are owner-goroutine only: one goroutine drives the server at a
+// time. Inside Tick's execute phase the server itself fans runner steps
+// across its worker pool (Config.Workers); everything those workers touch is
+// either query-private (the runner and its operator tree) or read-shared
+// engine state, so no other method may run concurrently with Tick.
 type Server struct {
 	cfg      Config
 	now      float64
@@ -160,11 +180,24 @@ type Server struct {
 	done     []*Query
 	arrivals arrivalHeap
 	onFinish []func(*Query)
+
+	pool      *execPool    // execute-phase workers, created lazily when Workers > 1
+	stepBuf   []stepResult // per-round scratch, index-aligned with runnable
+	lastStats TickStats
 }
 
 // New creates a server.
 func New(cfg Config) *Server {
 	return &Server{cfg: cfg.withDefaults(), nextID: 1}
+}
+
+// Close releases the execute-phase worker pool, if one was started. It is
+// idempotent, and a server that never ticked in parallel has nothing to
+// release. A closed server can still Tick — execution falls back inline.
+func (s *Server) Close() {
+	if s.pool != nil {
+		s.pool.close()
+	}
 }
 
 // Now returns the current virtual time in seconds.
@@ -397,13 +430,17 @@ func (s *Server) distribute(dt float64) {
 		rate = s.cfg.RateFunc(len(runnable))
 	}
 	budget := rate * dt
-	// Work-conserving weighted fair sharing: a query that finishes
-	// mid-segment hands its surplus credit back, and the pool is
-	// redistributed among the queries still runnable until the segment's
-	// budget is exhausted or nothing is left to run. Each pass retires at
-	// least one query from `runnable` (budget only refills when one
-	// finishes), so the loop does at most len(runnable)+1 passes.
+	// Work-conserving weighted fair sharing, run as repeated rounds of the
+	// three-phase pipeline (see exec_phase.go): a query that finishes
+	// mid-segment hands its surplus credit back during settlement, and the
+	// pool is redistributed among the queries still runnable until the
+	// segment's budget is exhausted or nothing is left to run. Each round
+	// retires at least one query from `runnable` (budget only refills when
+	// one finishes), so the loop does at most len(runnable)+1 rounds.
 	for budget > 1e-9 && len(runnable) > 0 {
+		// (1) allocate: fix every query's credit for this round, serially
+		// and purely in virtual time. Each share depends only on the pool
+		// and the weight table, never on another query's execution.
 		W := 0.0
 		for _, q := range runnable {
 			W += s.WeightOf(q.Priority)
@@ -415,16 +452,23 @@ func (s *Server) distribute(dt float64) {
 		budget = 0
 		for _, q := range runnable {
 			q.credit += pool * s.WeightOf(q.Priority) / W
-			if q.credit <= 0 {
-				continue
-			}
-			consumed, done, err := q.Runner.Step(q.credit)
-			q.credit -= consumed
-			if done {
+		}
+		// (2) execute: step every runner against its fixed credit —
+		// concurrently when Workers allows it. A query whose accrued credit
+		// is still non-positive (a prior overshoot) steps with a
+		// non-positive budget, which performs no work.
+		results := s.executePhase(runnable)
+		// (3) settle: fold consumed and leftover work back in admission
+		// order, so float accumulation is independent of which worker
+		// finished first and bit-identical to the serial scheduler.
+		for i, q := range runnable {
+			r := results[i]
+			q.credit -= r.consumed
+			if r.done {
 				q.FinishTime = s.now + dt
-				if err != nil {
+				if r.err != nil {
 					q.Status = StatusFailed
-					q.Err = err
+					q.Err = r.err
 				} else {
 					q.Status = StatusFinished
 				}
@@ -455,6 +499,7 @@ func (s *Server) distribute(dt float64) {
 // of service by waiting for the next Tick (and having its SubmitTime skewed
 // to the tick boundary).
 func (s *Server) Tick() {
+	s.lastStats = TickStats{}
 	end := s.now + s.cfg.Quantum
 	for {
 		// Submit arrivals due now (the heap guarantees anything left is due
@@ -475,18 +520,22 @@ func (s *Server) Tick() {
 		}
 	}
 
-	// Retire finished queries and refill MPL slots.
+	// Retire finished queries and refill MPL slots. Retirement is sorted by
+	// query ID — not admission or completion order — so the `done` list,
+	// OnFinish callbacks, and everything layered on them (the service's
+	// /events stream) are byte-identical at every worker count.
 	var finished []*Query
 	kept := s.running[:0]
 	for _, q := range s.running {
 		if q.Status == StatusFinished || q.Status == StatusFailed {
 			finished = append(finished, q)
-			s.done = append(s.done, q)
 			continue
 		}
 		kept = append(kept, q)
 	}
 	s.running = kept
+	sort.Slice(finished, func(i, j int) bool { return finished[i].ID < finished[j].ID })
+	s.done = append(s.done, finished...)
 	s.fillSlots()
 
 	// Speed observation happens after time advanced, so trackers see the
@@ -676,6 +725,7 @@ type Snapshot struct {
 	RateC     float64
 	MPL       int
 	Quantum   float64
+	Workers   int // effective execute-phase worker count (>= 1)
 	Running   []QueryInfo // admitted queries (running and blocked), admission order
 	Queued    []QueryInfo // admission queue, FIFO order
 	Scheduled []QueryInfo // future arrivals, ascending arrival time
@@ -728,7 +778,7 @@ func infoStates(infos []QueryInfo) []core.QueryState {
 
 // Snapshot captures the server state as plain values.
 func (s *Server) Snapshot() Snapshot {
-	snap := Snapshot{Now: s.now, RateC: s.cfg.RateC, MPL: s.cfg.MPL, Quantum: s.cfg.Quantum}
+	snap := Snapshot{Now: s.now, RateC: s.cfg.RateC, MPL: s.cfg.MPL, Quantum: s.cfg.Quantum, Workers: s.Workers()}
 	for _, q := range s.running {
 		snap.Running = append(snap.Running, s.InfoOf(q))
 	}

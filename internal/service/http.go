@@ -30,7 +30,8 @@ import (
 //	GET  /plan/maintenance?deadline=&mode=&exact=   §3.3 planner
 //	GET  /events[?id=]                bounded per-query event trace
 //	GET  /metrics                     Prometheus text exposition
-//	POST /exec                        {"sql"}: synchronous DDL/DML (data loading)
+//	POST /exec                        {"sql"}: synchronous DDL/DML (data loading);
+//	                                  409 if the owner stays busy past the exec deadline
 //	POST /advance                     {"seconds"}: push virtual time forward
 //	GET  /healthz                     liveness probe
 func NewHandler(m *Manager) http.Handler {
@@ -268,13 +269,16 @@ func pathID(r *http.Request) (int, error) {
 }
 
 // statusOf maps service errors to HTTP statuses: unknown IDs are 404, a
-// closed manager is 503, invalid state transitions and bad SQL are 400.
+// closed manager is 503, an Exec deadline miss is 409 (retryable — the owner
+// is mid-tick), invalid state transitions and bad SQL are 400.
 func statusOf(err error) int {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrBusy):
+		return http.StatusConflict
 	default:
 		return http.StatusBadRequest
 	}

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +49,12 @@ var ErrClosed = errors.New("service: manager closed")
 // ErrNotFound is returned when a query ID is unknown.
 var ErrNotFound = errors.New("service: unknown query")
 
+// ErrBusy is returned by Exec when the owner goroutine could not take the
+// statement within Config.ExecDeadline — typically because a long (possibly
+// parallel) tick is in flight. The HTTP layer maps it to 409 Conflict so
+// clients retry instead of silently queueing DML behind the scheduler.
+var ErrBusy = errors.New("service: owner busy, exec deadline exceeded")
+
 // Config configures a Manager.
 type Config struct {
 	// Sched configures the wrapped scheduler (rate C, weights, MPL, quantum).
@@ -62,6 +69,14 @@ type Config struct {
 	TimeScale float64
 	// EventCap bounds each query's event ring (default 128).
 	EventCap int
+	// ExecDeadline bounds how long a synchronous Exec (DDL/DML) waits for
+	// the owner goroutine before giving up with ErrBusy. DML must be
+	// serialized against the tick's parallel execute phase — it mutates
+	// relations the runners scan lock-free — so it can only run between
+	// ticks; under heavy load or a pathological time scale that wait can be
+	// long, and a deadline turns it into fast, retryable back-pressure.
+	// Zero or negative waits indefinitely (the pre-deadline behaviour).
+	ExecDeadline time.Duration
 	// RevisionEpsilon is the minimum absolute change of a query's predicted
 	// finish time, in virtual seconds, that is recorded as an
 	// estimate_revised event (default: one quantum). The metrics histogram
@@ -139,6 +154,7 @@ func New(db *engine.DB, cfg Config) *Manager {
 		m.cfg.RevisionEpsilon = m.srv.Quantum()
 	}
 	m.srv.OnFinish(m.onFinish)
+	m.metrics.setWorkers(m.srv.Workers())
 	m.metrics.snapshotInfo = func() (uint64, float64) {
 		s := m.snap.Load()
 		if s == nil {
@@ -187,6 +203,7 @@ func (m *Manager) loop() {
 				case f := <-m.reqs:
 					f()
 				default:
+					m.srv.Close() // release the execute-phase worker pool
 					close(m.done)
 					return
 				}
@@ -203,15 +220,32 @@ func (m *Manager) loop() {
 // call runs f on the owner goroutine, publishes a fresh snapshot, and waits
 // for both to complete — so a client that mutates and immediately polls reads
 // its own write.
-func (m *Manager) call(f func()) error {
+func (m *Manager) call(f func()) error { return m.callDeadline(f, 0) }
+
+// callDeadline is call with a bound on the hand-off wait: if the owner does
+// not take the request within d (because a tick — serial credit plane plus
+// parallel execute phase — is still in flight), it returns ErrBusy without
+// running f. d <= 0 waits indefinitely. Once the owner accepts the request,
+// it always runs to completion.
+func (m *Manager) callDeadline(f func(), d time.Duration) error {
 	fin := make(chan struct{})
+	req := func() { f(); m.publish(); close(fin) }
+	var timeout <-chan time.Time
+	if d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timeout = timer.C
+	}
 	select {
-	case m.reqs <- func() { f(); m.publish(); close(fin) }:
+	case m.reqs <- req:
 		m.metrics.incOwnerRequest()
 		<-fin
 		return nil
 	case <-m.done:
 		return ErrClosed
+	case <-timeout:
+		m.metrics.incExecBusy()
+		return ErrBusy
 	}
 }
 
@@ -271,6 +305,8 @@ func (m *Manager) advance(vsec float64) {
 		start := time.Now()
 		m.srv.Tick()
 		m.metrics.observeTick(time.Since(start).Seconds())
+		st := m.srv.TickStats()
+		m.metrics.observeExecutePhase(st.ExecuteSeconds, st.Rounds)
 		m.debt -= quantum
 		m.afterTick()
 	}
@@ -319,8 +355,18 @@ func (m *Manager) afterTick() {
 			delete(m.schedSet, id)
 		}
 	}
-	for id, e := range m.estimates() {
-		eta := e.MultiQuery
+	// Iterate estimates in query-ID order: map iteration order is random, and
+	// the estimate_revised events appended here must land in the event log in
+	// the same order on every run (and at every worker count) for /events to
+	// be deterministic.
+	est := m.estimates()
+	ids := make([]int, 0, len(est))
+	for id := range est {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		eta := est[id].MultiQuery
 		if math.IsInf(eta, 1) || math.IsNaN(eta) {
 			continue
 		}
@@ -411,10 +457,13 @@ func (m *Manager) Submit(req SubmitRequest) (QueryView, error) {
 
 // Exec runs a DDL/DML statement to completion on the owner goroutine —
 // loading data is synchronous and unscheduled, unlike SELECT submission.
+// DML mutates storage the parallel execute phase reads lock-free, so it
+// only runs between ticks; if the owner cannot take the statement within
+// Config.ExecDeadline, Exec fails fast with ErrBusy (HTTP 409).
 func (m *Manager) Exec(sqlText string) (int, error) {
 	var n int
 	var rerr error
-	err := m.call(func() { n, rerr = m.db.Exec(sqlText) })
+	err := m.callDeadline(func() { n, rerr = m.db.Exec(sqlText) }, m.cfg.ExecDeadline)
 	if err != nil {
 		return 0, err
 	}
@@ -465,6 +514,7 @@ func (m *Manager) Overview() (Overview, error) {
 		RateC:        snap.Sched.RateC,
 		MPL:          snap.Sched.MPL,
 		Quantum:      snap.Sched.Quantum,
+		Workers:      snap.Sched.Workers,
 		TimeScale:    snap.TimeScale,
 		QuiescentETA: Seconds(est.quiescent),
 	}

@@ -51,6 +51,10 @@ type Metrics struct {
 	ownerRequests uint64 // operations marshalled onto the owner goroutine
 	cacheHits     uint64 // polls served from the per-epoch estimate cache
 	cacheMisses   uint64 // polls that computed their epoch's estimates
+	execBusy      uint64 // Exec calls bounced with ErrBusy (deadline exceeded)
+
+	tickRounds uint64 // cumulative allocate→execute→settle rounds across ticks
+	workers    int    // configured execute-phase worker count
 
 	runningDepth   int
 	blockedDepth   int
@@ -58,6 +62,7 @@ type Metrics struct {
 	scheduledDepth int
 
 	tickDur  *histogram // wall seconds per scheduler tick
+	execDur  *histogram // wall seconds in the tick's execute phase
 	revision *histogram // |Δ predicted finish| per tick, virtual seconds
 	pollDur  *histogram // wall seconds per progress/overview poll
 
@@ -70,6 +75,7 @@ type Metrics struct {
 func newMetrics() *Metrics {
 	return &Metrics{
 		tickDur:  newHistogram(1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1),
+		execDur:  newHistogram(1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1),
 		revision: newHistogram(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 300),
 		pollDur:  newHistogram(1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 5e-2, 0.1),
 	}
@@ -85,6 +91,19 @@ func (m *Metrics) incUnblocked() { m.mu.Lock(); m.unblocked++; m.mu.Unlock() }
 func (m *Metrics) incOwnerRequest() { m.mu.Lock(); m.ownerRequests++; m.mu.Unlock() }
 func (m *Metrics) incCacheHit()     { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
 func (m *Metrics) incCacheMiss()    { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
+func (m *Metrics) incExecBusy()     { m.mu.Lock(); m.execBusy++; m.mu.Unlock() }
+
+func (m *Metrics) setWorkers(n int) { m.mu.Lock(); m.workers = n; m.mu.Unlock() }
+
+// observeExecutePhase records one tick's execute-phase wall time and how many
+// allocate→execute→settle rounds the tick needed (>1 means the
+// work-conserving redistribution loop re-ran).
+func (m *Metrics) observeExecutePhase(seconds float64, rounds int) {
+	m.mu.Lock()
+	m.execDur.observe(seconds)
+	m.tickRounds += uint64(rounds)
+	m.mu.Unlock()
+}
 
 func (m *Metrics) observePoll(seconds float64) {
 	m.mu.Lock()
@@ -161,12 +180,16 @@ func (m *Metrics) Text() string {
 	writeScalar(&b, "mqpi_owner_requests_total", "counter", "Operations marshalled onto the owner goroutine (mutations only; reads bypass it).", float64(m.ownerRequests))
 	writeScalar(&b, "mqpi_poll_estimate_cache_hits_total", "counter", "Polls that shared a cached per-epoch estimate computation.", float64(m.cacheHits))
 	writeScalar(&b, "mqpi_poll_estimate_cache_misses_total", "counter", "Polls that computed their epoch's estimates.", float64(m.cacheMisses))
+	writeScalar(&b, "mqpi_exec_workers", "gauge", "Execute-phase worker count (1 = inline serial stepping).", float64(m.workers))
+	writeScalar(&b, "mqpi_exec_deadline_busy_total", "counter", "Exec statements rejected with 409 because the owner was busy past the deadline.", float64(m.execBusy))
+	writeScalar(&b, "mqpi_tick_rounds_total", "counter", "Allocate/execute/settle rounds across all ticks (redistribution re-runs included).", float64(m.tickRounds))
 	if m.snapshotInfo != nil {
 		epoch, age := m.snapshotInfo()
 		writeScalar(&b, "mqpi_snapshot_epoch", "gauge", "Epoch of the published read-path snapshot.", float64(epoch))
 		writeScalar(&b, "mqpi_snapshot_age_seconds", "gauge", "Wall-clock age of the published read-path snapshot.", age)
 	}
 	writeHistogram(&b, "mqpi_tick_duration_seconds", "Wall-clock duration of one scheduler tick.", m.tickDur)
+	writeHistogram(&b, "mqpi_execute_phase_seconds", "Wall-clock duration of the parallel execute phase within one tick.", m.execDur)
 	writeHistogram(&b, "mqpi_estimate_revision_seconds", "Per-tick change of a query's predicted finish time, in virtual seconds.", m.revision)
 	writeHistogram(&b, "mqpi_poll_duration_seconds", "Wall-clock latency of one progress or overview poll on the lock-free read path.", m.pollDur)
 	return b.String()

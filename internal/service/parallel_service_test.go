@@ -1,0 +1,184 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"mqpi/internal/engine"
+	"mqpi/internal/sched"
+)
+
+// Service-layer coverage for the three-phase tick: the /exec 409 deadline,
+// worker-count plumbing into the overview, and event-log determinism across
+// execute-phase worker counts.
+
+// occupyOwner parks the owner goroutine inside a request until release is
+// closed, simulating a long tick holding the owner busy.
+func occupyOwner(t *testing.T, m *Manager) (release func()) {
+	t.Helper()
+	rel := make(chan struct{})
+	entered := make(chan struct{})
+	m.reqs <- func() { close(entered); <-rel }
+	<-entered
+	return func() { close(rel) }
+}
+
+func TestExecDeadlineBusy(t *testing.T) {
+	db := engine.Open()
+	m := New(db, Config{
+		Sched:        sched.Config{RateC: 10, Quantum: 0.5},
+		TickEvery:    -1,
+		ExecDeadline: 20 * time.Millisecond,
+	})
+	t.Cleanup(m.Close)
+
+	release := occupyOwner(t, m)
+	if _, err := m.Exec("CREATE TABLE busy1 (a BIGINT)"); !errors.Is(err, ErrBusy) {
+		release()
+		t.Fatalf("Exec while owner busy = %v, want ErrBusy", err)
+	}
+	release()
+
+	// With the owner free again the same statement succeeds.
+	if _, err := m.Exec("CREATE TABLE busy1 (a BIGINT)"); err != nil {
+		t.Fatalf("Exec after release: %v", err)
+	}
+	if text := m.Metrics().Text(); !strings.Contains(text, "mqpi_exec_deadline_busy_total 1") {
+		t.Error("busy counter not incremented in exposition")
+	}
+
+	// Mutations other than Exec keep the unbounded wait: Submit must not
+	// inherit the deadline.
+	release = occupyOwner(t, m)
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Submit(SubmitRequest{SQL: "SELECT COUNT(*) FROM busy1"})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("Submit returned early with %v, want it to wait for the owner", err)
+	case <-time.After(60 * time.Millisecond):
+	}
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("Submit after release: %v", err)
+	}
+}
+
+func TestHTTPExecConflict(t *testing.T) {
+	db := engine.Open()
+	m := New(db, Config{
+		Sched:        sched.Config{RateC: 10, Quantum: 0.5},
+		TickEvery:    -1,
+		ExecDeadline: 20 * time.Millisecond,
+	})
+	t.Cleanup(m.Close)
+	ts := httptest.NewServer(NewHandler(m))
+	t.Cleanup(ts.Close)
+
+	release := occupyOwner(t, m)
+	var out map[string]string
+	doJSON(t, "POST", ts.URL+"/exec", map[string]string{"sql": "CREATE TABLE h1 (a BIGINT)"},
+		http.StatusConflict, &out)
+	release()
+	if out["error"] == "" {
+		t.Error("409 body carries no error message")
+	}
+	doJSON(t, "POST", ts.URL+"/exec", map[string]string{"sql": "CREATE TABLE h1 (a BIGINT)"},
+		http.StatusOK, nil)
+}
+
+func TestOverviewReportsWorkers(t *testing.T) {
+	db := engine.Open()
+	m := manual(t, db, sched.Config{RateC: 10, Quantum: 0.5, Workers: 3})
+	ov, err := m.Overview()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.Workers != 3 {
+		t.Errorf("Overview.Workers = %d, want 3", ov.Workers)
+	}
+	if text := m.Metrics().Text(); !strings.Contains(text, "mqpi_exec_workers 3") {
+		t.Error("workers gauge missing from exposition")
+	}
+}
+
+// runEventScript drives one manager through a fixed workload — staggered
+// arrivals, mixed priorities, a block/unblock, an abort — entirely on the
+// manual clock, and returns the full merged event log.
+func runEventScript(t *testing.T, workers int) []Event {
+	t.Helper()
+	db := engine.Open()
+	loadTable(t, db, "ev", 12)
+	m := manual(t, db, sched.Config{RateC: 8, Quantum: 0.25, MPL: 3, Workers: workers})
+
+	ids := make([]int, 0, 6)
+	for i := 0; i < 6; i++ {
+		req := SubmitRequest{
+			Label:    fmt.Sprintf("q%d", i),
+			SQL:      "SELECT SUM(a) FROM ev",
+			Priority: i % 3,
+		}
+		if i >= 4 {
+			req.Delay = 0.6 + 0.25*float64(i)
+		}
+		v, err := m.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	step := func(vsec float64) {
+		t.Helper()
+		if err := m.Advance(vsec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step(0.5)
+	if err := m.Block(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	step(0.75)
+	if err := m.SetPriority(ids[2], 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unblock(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	step(1)
+	if err := m.Abort(ids[5]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		step(1)
+	}
+	return m.Events(0)
+}
+
+// TestEventsDeterministicAcrossWorkers pins the satellite guarantee: the
+// /events stream — including retirement order and estimate revisions — is
+// identical whether runners execute inline or on a parallel worker pool.
+func TestEventsDeterministicAcrossWorkers(t *testing.T) {
+	serial := runEventScript(t, 1)
+	for _, workers := range []int{2, 4, runtime.NumCPU()} {
+		parallel := runEventScript(t, workers)
+		if len(serial) != len(parallel) {
+			t.Fatalf("workers=%d: %d events, serial has %d", workers, len(parallel), len(serial))
+		}
+		for i := range serial {
+			s, p := serial[i], parallel[i]
+			// Wall timestamps differ run to run; everything else must match.
+			if s.Seq != p.Seq || s.Virtual != p.Virtual || s.QueryID != p.QueryID ||
+				s.Type != p.Type || s.Detail != p.Detail {
+				t.Fatalf("workers=%d event %d:\n serial   %+v\n parallel %+v", workers, i, s, p)
+			}
+		}
+	}
+}

@@ -50,6 +50,7 @@ type Overview struct {
 	RateC        float64     `json:"rate_c"`
 	MPL          int         `json:"mpl"`
 	Quantum      float64     `json:"quantum"`
+	Workers      int         `json:"workers"` // execute-phase worker count
 	TimeScale    float64     `json:"time_scale"`
 	QuiescentETA Seconds     `json:"quiescent_eta"` // until ALL known work drains
 	Running      []QueryView `json:"running"`
