@@ -1,6 +1,7 @@
 GO ?= go
+COVER_PROFILE ?= cover.out
 
-.PHONY: build test bench bench-all race vet ci serve
+.PHONY: build test bench bench-all race vet ci serve cover cover-check fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -40,3 +41,33 @@ ci: vet build race
 	# second run would silently replay the first run's cached verdict.
 	GOMAXPROCS=1 $(GO) test -race -count=1 -run 'TestParallelTick|TestEventsDeterministicAcrossWorkers' ./internal/sched/ ./internal/service/
 	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestParallelTick|TestEventsDeterministicAcrossWorkers' ./internal/sched/ ./internal/service/
+	$(MAKE) cover-check
+	$(MAKE) fuzz-smoke
+
+# cover prints the per-package coverage table and the repo-wide total.
+cover:
+	$(GO) test -count=1 -cover ./internal/...
+	@$(GO) test -count=1 -coverprofile=$(COVER_PROFILE) ./internal/... > /dev/null
+	@$(GO) tool cover -func=$(COVER_PROFILE) | tail -1
+
+# cover-check is the ratchet: total statement coverage across ./internal/...
+# must not drop below the floor committed in COVERAGE_BASELINE. Raise the
+# floor when coverage durably improves; never lower it to make ci pass.
+cover-check:
+	@$(GO) test -count=1 -coverprofile=$(COVER_PROFILE) ./internal/... > /dev/null
+	@total=$$($(GO) tool cover -func=$(COVER_PROFILE) | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	floor=$$(cat COVERAGE_BASELINE); \
+	echo "coverage: $$total% of statements (floor $$floor%)"; \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t+0 < f+0) }' || \
+		{ echo "coverage $$total% fell below the committed baseline $$floor%"; exit 1; }
+
+# fuzz-smoke gives each native fuzz target a short budget on every ci run, so
+# the harnesses can't rot and the checked-in corpora keep replaying. SHORT=1
+# skips it (the corpora still run as plain tests under `race` above).
+fuzz-smoke:
+ifeq ($(SHORT),1)
+	@echo "SHORT=1: skipping fuzz smoke"
+else
+	$(GO) test -run '^$$' -fuzz FuzzSim -fuzztime 10s ./internal/sim
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/engine/sql
+endif

@@ -5,6 +5,7 @@
 //	mqpi-bench -exp scq -runs 100       # Figures 6-7 at full paper scale
 //	mqpi-bench -exp scq -parallel 8     # fan runs across 8 workers
 //	mqpi-bench -exp all -json > figs.jsonl
+//	mqpi-bench -sim -seed 17            # replay one simulator cell with its trace
 //
 // Experiments: dataset (Table 1), mcq (Fig 3-4), naq (Fig 5), scq (Fig 6-7),
 // scq-lambda (Fig 8-9), scq-traj (Fig 10), maint (Fig 11).
@@ -44,8 +45,14 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit figures as JSON lines on stdout (headlines go to stderr)")
 		verbose  = flag.Bool("v", false, "print timing for each experiment")
 		csvDir   = flag.String("csv", "", "also write each figure as CSV into this directory")
+		simMode  = flag.Bool("sim", false, "replay one randomized-workload simulation cell (uses -seed, -workers, -steps) and print its event trace")
+		simSteps = flag.Int("steps", 0, "actions per simulation run in -sim mode (0 = default)")
 	)
 	flag.Parse()
+
+	if *simMode {
+		os.Exit(runSim(*seed, *workers, *simSteps))
+	}
 
 	which := strings.Split(*exp, ",")
 	want := func(name string) bool {

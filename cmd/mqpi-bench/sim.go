@@ -1,0 +1,30 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mqpi/internal/sim"
+)
+
+// runSim replays one simulator cell and prints its canonical trace. The trace
+// contains no wall-clock values and no worker counts, so the same seed is
+// byte-identical across runs and across -workers settings — diff two
+// invocations to verify, or bisect a failing seed action by action.
+func runSim(seed int64, workers, steps int) int {
+	res, err := sim.Run(sim.Config{Seed: seed, Workers: workers, Steps: steps})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mqpi-bench: sim: %v\n", err)
+		return 1
+	}
+	fmt.Print(res.Trace)
+	fmt.Fprintf(os.Stderr, "sim seed=%d workers=%d: %d actions, %d submitted, %d finished, %d failed, %d aborted, exactness checked=%d voided=%d\n",
+		seed, workers, res.Actions, res.Submitted, res.Finished, res.Failed, res.Aborted, res.ExactChecked, res.ExactVoided)
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			fmt.Fprintf(os.Stderr, "VIOLATION %s\n", v)
+		}
+		return 1
+	}
+	return 0
+}

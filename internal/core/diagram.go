@@ -60,9 +60,9 @@ func StageDiagram(states []QueryState, C float64, width int) string {
 				level = len(glyphs) - 1
 			}
 			b.WriteString(strings.Repeat(string(glyphs[level]), cells))
-			if stage == qi {
-				b.WriteByte('|')
-			}
+			// Stage boundary bar after every stage, as in the figures: each
+			// bar marks a finish time at which the survivors speed up.
+			b.WriteByte('|')
 		}
 		fmt.Fprintf(&b, "  finishes at %.1fs\n", prof.Finish[id])
 	}

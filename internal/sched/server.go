@@ -679,7 +679,12 @@ type QueryInfo struct {
 	Remaining  float64 // c_i: refined remaining-cost estimate, in U's
 	Speed      float64 // observed execution speed over the speed window, U/s
 	Weight     float64 // current scheduling weight (0 while blocked)
-	Err        string  // terminal error, if the query failed
+	// Credit is the accrued scheduling balance in U's: positive when the
+	// runner could not spend its share yet (its next indivisible chunk
+	// exceeds the balance), negative after a chunk overshot and the debt is
+	// being paid down. Zero in steady fluid operation.
+	Credit float64
+	Err    string // terminal error, if the query failed
 }
 
 // InfoOf captures a value snapshot of q under this server's weight table.
@@ -696,6 +701,7 @@ func (s *Server) InfoOf(q *Query) QueryInfo {
 		Done:       q.Runner.WorkDone(),
 		Remaining:  q.Runner.EstRemaining(),
 		Speed:      q.ObservedSpeed(),
+		Credit:     q.credit,
 	}
 	if q.Status == StatusRunning || q.Status == StatusQueued || q.Status == StatusScheduled {
 		info.Weight = s.WeightOf(q.Priority)

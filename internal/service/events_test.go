@@ -1,0 +1,78 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestEventLogDefaultCap(t *testing.T) {
+	l := newEventLog(0)
+	if l.capPerQuery != 128 {
+		t.Fatalf("zero cap should default to 128, got %d", l.capPerQuery)
+	}
+	l = newEventLog(-3)
+	if l.capPerQuery != 128 {
+		t.Fatalf("negative cap should default to 128, got %d", l.capPerQuery)
+	}
+}
+
+func TestEventLogRingBound(t *testing.T) {
+	const cap = 4
+	l := newEventLog(cap)
+	for i := 0; i < 10; i++ {
+		l.add(float64(i), 1, EventRevised, fmt.Sprintf("rev %d", i))
+	}
+	got := l.Query(1)
+	if len(got) != cap {
+		t.Fatalf("ring should retain %d events, got %d", cap, len(got))
+	}
+	// The newest cap events survive, oldest-first: seqs 7..10.
+	for i, ev := range got {
+		if want := int64(7 + i); ev.Seq != want {
+			t.Errorf("event %d: want seq %d, got %d (%s)", i, want, ev.Seq, ev.Detail)
+		}
+	}
+	if got[0].Detail != "rev 6" || got[cap-1].Detail != "rev 9" {
+		t.Errorf("wraparound order wrong: first %q, last %q", got[0].Detail, got[cap-1].Detail)
+	}
+}
+
+func TestEventLogOrderBeforeWraparound(t *testing.T) {
+	l := newEventLog(8)
+	for i := 0; i < 5; i++ {
+		l.add(float64(i), 7, EventRevised, "")
+	}
+	got := l.Query(7)
+	if len(got) != 5 {
+		t.Fatalf("want all 5 events below cap, got %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq <= got[i-1].Seq {
+			t.Fatalf("events out of order at %d: %d after %d", i, got[i].Seq, got[i-1].Seq)
+		}
+	}
+}
+
+func TestEventLogQueryUnknown(t *testing.T) {
+	l := newEventLog(4)
+	if got := l.Query(42); got != nil {
+		t.Fatalf("unknown query should return nil, got %v", got)
+	}
+}
+
+func TestEventLogAllMergedBySeq(t *testing.T) {
+	l := newEventLog(3)
+	// Interleave two queries; query 1 wraps its ring, query 2 stays below cap.
+	for i := 0; i < 8; i++ {
+		l.add(float64(i), 1+i%2, EventRevised, "")
+	}
+	got := l.All()
+	if len(got) != 3+3 { // q1 wrapped to 3, q2 has 4 adds but cap 3
+		t.Fatalf("want 6 retained events, got %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq <= got[i-1].Seq {
+			t.Fatalf("All() not merged by seq at %d: %d after %d", i, got[i].Seq, got[i-1].Seq)
+		}
+	}
+}

@@ -315,6 +315,20 @@ func (m *Manager) advance(vsec float64) {
 // onFinish runs inside sched.Tick on the owner goroutine.
 func (m *Manager) onFinish(q *sched.Query) {
 	info := m.srv.InfoOf(q)
+	// A query can be admitted and finish within the same tick (a scheduled
+	// arrival or queue refill followed by a fast plan): its pending
+	// submitted/admitted events have not been emitted yet, and once the query
+	// retires afterTick will no longer see it in Running. Emit them here so
+	// the lifecycle stays ordered ahead of the finished/failed event.
+	if m.schedSet[info.ID] {
+		delete(m.schedSet, info.ID)
+		m.events.add(info.SubmitTime, info.ID, EventSubmitted, "scheduled arrival")
+		m.events.add(info.StartTime, info.ID, EventAdmitted, "")
+	}
+	if m.queuedSet[info.ID] {
+		delete(m.queuedSet, info.ID)
+		m.events.add(info.StartTime, info.ID, EventAdmitted, "")
+	}
 	delete(m.lastFinish, info.ID)
 	if info.Status == sched.StatusFailed {
 		m.metrics.incFailed()
@@ -331,30 +345,7 @@ func (m *Manager) onFinish(q *sched.Query) {
 // predicted finish time.
 func (m *Manager) afterTick() {
 	now := m.srv.Now()
-	for _, q := range m.srv.Running() {
-		if m.queuedSet[q.ID] {
-			delete(m.queuedSet, q.ID)
-			m.events.add(now, q.ID, EventAdmitted, "")
-		}
-		if m.schedSet[q.ID] {
-			delete(m.schedSet, q.ID)
-			m.events.add(q.SubmitTime, q.ID, EventSubmitted, "scheduled arrival")
-			m.events.add(q.StartTime, q.ID, EventAdmitted, "")
-		}
-	}
-	for _, q := range m.srv.Queued() {
-		if m.schedSet[q.ID] {
-			delete(m.schedSet, q.ID)
-			m.queuedSet[q.ID] = true
-			m.events.add(q.SubmitTime, q.ID, EventSubmitted, "scheduled arrival")
-			m.events.add(q.SubmitTime, q.ID, EventQueued, "")
-		}
-	}
-	for id := range m.schedSet { // arrivals aborted before arriving
-		if q, ok := m.srv.Lookup(id); ok && q.Status != sched.StatusScheduled {
-			delete(m.schedSet, id)
-		}
-	}
+	m.recordAdmissions()
 	// Iterate estimates in query-ID order: map iteration order is random, and
 	// the estimate_revised events appended here must land in the event log in
 	// the same order on every run (and at every worker count) for /events to
@@ -382,6 +373,41 @@ func (m *Manager) afterTick() {
 		m.lastFinish[id] = abs
 	}
 	m.updateDepths()
+}
+
+// recordAdmissions emits the lifecycle events for queries that left the
+// admission queue or the arrival schedule since the last reconciliation:
+// queue refills become admitted events, arrivals become submitted (+queued or
+// +admitted) events. It runs after every tick and after any control action
+// that can free an MPL slot (sched.Abort of an admitted query refills the
+// queue synchronously), so no admission goes unrecorded. Owner goroutine
+// only.
+func (m *Manager) recordAdmissions() {
+	now := m.srv.Now()
+	for _, q := range m.srv.Running() {
+		if m.queuedSet[q.ID] {
+			delete(m.queuedSet, q.ID)
+			m.events.add(now, q.ID, EventAdmitted, "")
+		}
+		if m.schedSet[q.ID] {
+			delete(m.schedSet, q.ID)
+			m.events.add(q.SubmitTime, q.ID, EventSubmitted, "scheduled arrival")
+			m.events.add(q.StartTime, q.ID, EventAdmitted, "")
+		}
+	}
+	for _, q := range m.srv.Queued() {
+		if m.schedSet[q.ID] {
+			delete(m.schedSet, q.ID)
+			m.queuedSet[q.ID] = true
+			m.events.add(q.SubmitTime, q.ID, EventSubmitted, "scheduled arrival")
+			m.events.add(q.SubmitTime, q.ID, EventQueued, "")
+		}
+	}
+	for id := range m.schedSet { // arrivals aborted before arriving
+		if q, ok := m.srv.Lookup(id); ok && q.Status != sched.StatusScheduled {
+			delete(m.schedSet, id)
+		}
+	}
 }
 
 func (m *Manager) updateDepths() {
@@ -567,6 +593,10 @@ func (m *Manager) op(id int, kind string) error {
 				delete(m.queuedSet, id)
 				delete(m.schedSet, id)
 				m.events.add(m.srv.Now(), id, EventAborted, "")
+				// Aborting an admitted query frees its MPL slot and the
+				// scheduler refills from the queue synchronously; record the
+				// replacement's admission now rather than at the next tick.
+				m.recordAdmissions()
 			}
 		}
 		if rerr == nil {

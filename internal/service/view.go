@@ -38,6 +38,12 @@ type QueryView struct {
 	Fraction   float64 `json:"fraction"`    // done/(done+remaining), in [0, 1]
 	Speed      float64 `json:"speed_ups"`   // observed speed, U/s
 	Weight     float64 `json:"weight"`
+	// Credit is the scheduler's accrued balance for the query in U's:
+	// positive while service is banked ahead of an indivisible chunk,
+	// negative while a chunk's overshoot is being paid down. It explains why
+	// a running query may briefly progress faster or slower than its weight
+	// share implies.
+	Credit float64 `json:"credit_u"`
 	SingleETA  Seconds `json:"single_query_eta"` // t = c/s (null if unobservable)
 	MultiETA   Seconds `json:"multi_query_eta"`  // stage-model estimate
 	Err        string  `json:"error,omitempty"`
@@ -73,6 +79,7 @@ func makeView(info sched.QueryInfo, est core.Estimate) QueryView {
 		Remaining:  info.Remaining,
 		Speed:      info.Speed,
 		Weight:     info.Weight,
+		Credit:     info.Credit,
 		Err:        info.Err,
 	}
 	if total := info.Done + info.Remaining; total > 0 {

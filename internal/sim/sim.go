@@ -1,0 +1,582 @@
+// Package sim is the deterministic workload simulator and invariant checker
+// for the full progress-indicator stack: a service.Manager (owner goroutine,
+// epoch-stamped snapshots, lock-free reads) over a sched.Server (three-phase
+// tick, MPL admission, weighted fair sharing) over the real SQL engine.
+//
+// A single rand.Source seeds everything — the dataset, the SQL workload, the
+// action stream (staggered arrivals, priority changes, block/unblock/abort,
+// DML through Exec, §3.1–3.3 planner calls, irregular virtual-time advances) —
+// so any failure reproduces exactly from its seed:
+//
+//	go test ./internal/sim -run TestSimMatrix       # the CI seed matrix
+//	go run ./cmd/mqpi-bench -sim -seed 17 -workers 4 # replay one cell, full trace
+//
+// After every action a checker validates the global state (see invariants.go
+// for the list: work conservation, stage-model exactness, re-prediction at
+// boundaries, epoch monotonicity, MPL, slot conservation, metrics/view
+// consistency, event lifecycle ordering). Every run also emits a canonical
+// text trace containing no wall-clock values, so a run at Workers=1 must be
+// byte-identical to the same seed at Workers=4 — the tentpole bit-identity
+// guarantee of the parallel execute phase, checked end to end.
+//
+// The action stream can alternatively be driven by an opaque byte script
+// (Config.Script), which is what the FuzzSim native fuzz target mutates.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mqpi/internal/engine"
+	"mqpi/internal/engine/types"
+	"mqpi/internal/sched"
+	"mqpi/internal/service"
+	"mqpi/internal/wm"
+)
+
+// Config parameterizes one simulation run. The zero value of every field is
+// replaced by the defaults in withDefaults; only Seed and Workers normally
+// need setting.
+type Config struct {
+	// Seed drives all randomness: dataset values, SQL workload, and (unless
+	// Script is set) the action stream.
+	Seed int64
+	// Workers is the scheduler's execute-phase worker pool size. The trace is
+	// byte-identical at every setting; the seed matrix runs 1/2/4.
+	Workers int
+	// Steps is the number of actions to generate (default 48). Ignored when
+	// Script is set (the script length decides).
+	Steps int
+	// MPL is the admission limit (default 3).
+	MPL int
+	// RateC is the processing rate in U/s (default 10).
+	RateC float64
+	// Quantum is the virtual-time step in seconds (default 0.5).
+	Quantum float64
+	// Rows is the cardinality of the two scan tables (default 1536).
+	Rows int
+	// Script, when non-nil, replaces the rng-driven action stream with an
+	// opaque byte stream: each action consumes two bytes (opcode selector,
+	// argument). The dataset is still built from Seed. This is the FuzzSim
+	// entry point.
+	Script []byte
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Steps <= 0 {
+		c.Steps = 48
+	}
+	if c.MPL <= 0 {
+		c.MPL = 3
+	}
+	if c.RateC <= 0 {
+		c.RateC = 10
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 0.5
+	}
+	if c.Rows <= 0 {
+		c.Rows = 1536
+	}
+	return c
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Trace is the canonical action/event/state trace. It contains no
+	// wall-clock values and no worker counts, so it must be byte-identical
+	// across runs of the same seed at different Config.Workers.
+	Trace string
+	// Violations lists every invariant violation, annotated with the action
+	// index at which it was detected. Empty on a clean run.
+	Violations []string
+	// Actions is the number of actions applied.
+	Actions int
+	// Submitted/Finished/Failed/Aborted count query outcomes.
+	Submitted, Finished, Failed, Aborted int
+	// ExactChecked counts the checks where the stage-model exactness
+	// invariant (I7) actually ran; ExactVoided counts the checks where it was
+	// voided because a query left the fluid model (cost refinement or
+	// chunk-granularity burst/payback). Tests assert the checked share
+	// dominates, so the invariant cannot silently go vacuous.
+	ExactChecked, ExactVoided int
+}
+
+// Run executes one simulation to completion (all actions, then a drain) and
+// returns its trace and any invariant violations. Engine/build errors — which
+// indicate a broken harness rather than a broken invariant — are returned as
+// error.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	s, err := newSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s.m.Close()
+	return s.run()
+}
+
+// opKind enumerates the simulator's action repertoire.
+type opKind uint8
+
+const (
+	opSubmit opKind = iota
+	opSubmitDelayed
+	opAdvance
+	opBlock
+	opUnblock
+	opAbort
+	opSetPriority
+	opExec
+	opPlan
+	opDiagram
+)
+
+// opTable maps the low 4 bits of an opcode byte to an action, with repeats
+// providing the weighting (submissions and advances dominate, as in a real
+// workload). Both the rng-driven stream and fuzz scripts select through this
+// table, so a fuzz input is just a pre-rolled random stream.
+var opTable = [16]opKind{
+	opSubmit, opSubmit, opSubmit, opSubmitDelayed,
+	opAdvance, opAdvance, opAdvance, opAdvance, opAdvance,
+	opBlock, opUnblock, opAbort, opSetPriority,
+	opExec, opPlan, opDiagram,
+}
+
+func (k opKind) String() string {
+	switch k {
+	case opSubmit:
+		return "submit"
+	case opSubmitDelayed:
+		return "submit-delayed"
+	case opAdvance:
+		return "advance"
+	case opBlock:
+		return "block"
+	case opUnblock:
+		return "unblock"
+	case opAbort:
+		return "abort"
+	case opSetPriority:
+		return "priority"
+	case opExec:
+		return "exec"
+	case opPlan:
+		return "plan"
+	case opDiagram:
+		return "diagram"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// actionSource yields (opcode, argument) byte pairs: from the seeded rng, or
+// from a fuzz script.
+type actionSource interface {
+	next() (op, arg byte, ok bool)
+}
+
+type rngSource struct {
+	rng  *rand.Rand
+	left int
+}
+
+func (r *rngSource) next() (byte, byte, bool) {
+	if r.left <= 0 {
+		return 0, 0, false
+	}
+	r.left--
+	return byte(r.rng.Intn(256)), byte(r.rng.Intn(256)), true
+}
+
+type scriptSource struct {
+	buf []byte
+	pos int
+}
+
+func (s *scriptSource) next() (byte, byte, bool) {
+	if s.pos+1 >= len(s.buf) {
+		return 0, 0, false
+	}
+	op, arg := s.buf[s.pos], s.buf[s.pos+1]
+	s.pos += 2
+	return op, arg, true
+}
+
+// sim is one run's mutable state.
+type sim struct {
+	cfg Config
+	rng *rand.Rand
+	db  *engine.DB
+	m   *service.Manager
+	chk *checker
+	tr  strings.Builder
+
+	src     actionSource
+	actionN int
+	execN   int // deterministic counter for DML value generation
+
+	submitted, aborted int
+}
+
+// Table geometry: two scan relations of cfg.Rows tuples each and one small
+// outer relation driving the correlated-subquery template through the t0
+// index, mirroring the paper's part/lineitem shape at toy scale.
+const (
+	keyRangeT0 = 251 // distinct keys in t0 (prime, so i%range cycles evenly)
+	keyRangeT1 = 97
+	partRows   = 48
+)
+
+func newSim(cfg Config) (*sim, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := engine.Open()
+	mk := func(stmt string) error {
+		_, err := db.Exec(stmt)
+		return err
+	}
+	if err := mk(`CREATE TABLE t0 (k BIGINT, v DOUBLE)`); err != nil {
+		return nil, err
+	}
+	if err := mk(`CREATE TABLE t1 (k BIGINT, v DOUBLE)`); err != nil {
+		return nil, err
+	}
+	if err := mk(`CREATE TABLE part (k BIGINT, v DOUBLE)`); err != nil {
+		return nil, err
+	}
+	cat := db.Catalog()
+	for i := 0; i < cfg.Rows; i++ {
+		r0 := types.Row{types.NewInt(int64(i % keyRangeT0)), types.NewFloat(rng.Float64() * 100)}
+		if err := cat.Insert("t0", r0); err != nil {
+			return nil, err
+		}
+		r1 := types.Row{types.NewInt(int64(i % keyRangeT1)), types.NewFloat(rng.Float64() * 100)}
+		if err := cat.Insert("t1", r1); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < partRows; i++ {
+		row := types.Row{types.NewInt(int64(rng.Intn(keyRangeT0))), types.NewFloat(rng.Float64() * 100)}
+		if err := cat.Insert("part", row); err != nil {
+			return nil, err
+		}
+	}
+	if err := mk(`CREATE INDEX t0_k ON t0 (k)`); err != nil {
+		return nil, err
+	}
+	if err := db.Analyze(); err != nil {
+		return nil, err
+	}
+
+	m := service.New(db, service.Config{
+		Sched: sched.Config{
+			RateC:   cfg.RateC,
+			MPL:     cfg.MPL,
+			Quantum: cfg.Quantum,
+			Workers: cfg.Workers,
+			Weights: map[int]float64{0: 1, 1: 2, 2: 4},
+		},
+		TickEvery: -1, // manual clock: virtual time moves only through Advance
+		EventCap:  4096,
+	})
+	s := &sim{cfg: cfg, rng: rng, db: db, m: m}
+	s.chk = newChecker(m, cfg)
+	if cfg.Script != nil {
+		s.src = &scriptSource{buf: cfg.Script}
+	} else {
+		s.src = &rngSource{rng: rng, left: cfg.Steps}
+	}
+	return s, nil
+}
+
+func (s *sim) run() (*Result, error) {
+	// Initial state line anchors the trace.
+	s.chk.check(&s.tr, checkCtx{})
+	for {
+		op, arg, ok := s.src.next()
+		if !ok || len(s.chk.violations) > 0 {
+			break
+		}
+		s.actionN++
+		kind := opTable[op&15]
+		ctx, err := s.apply(kind, arg)
+		if err != nil {
+			return nil, fmt.Errorf("action %d (%s): %w", s.actionN, kind, err)
+		}
+		ctx.action = s.actionN
+		s.chk.check(&s.tr, ctx)
+	}
+	// Drain: advance until the service is idle (or stalled on blocked
+	// queries), so finish-time exactness is checked for every query that can
+	// still finish.
+	for i := 0; i < 64 && len(s.chk.violations) == 0; i++ {
+		ov, err := s.m.Overview()
+		if err != nil {
+			return nil, err
+		}
+		busy := false
+		for _, q := range ov.Running {
+			if q.Status == "running" {
+				busy = true
+			}
+		}
+		if !busy && len(ov.Scheduled) == 0 {
+			break
+		}
+		s.actionN++
+		fmt.Fprintf(&s.tr, "a%03d drain advance %s\n", s.actionN, g(4*s.cfg.Quantum))
+		if err := s.m.Advance(4 * s.cfg.Quantum); err != nil {
+			return nil, err
+		}
+		s.chk.check(&s.tr, checkCtx{action: s.actionN, mutated: true, advanced: true})
+	}
+
+	res := &Result{
+		Trace:        s.tr.String(),
+		Violations:   s.chk.violations,
+		Actions:      s.actionN,
+		Submitted:    s.submitted,
+		Aborted:      s.aborted,
+		ExactChecked: s.chk.exactChecked,
+		ExactVoided:  s.chk.exactVoided,
+	}
+	if ov, err := s.m.Overview(); err == nil {
+		for _, q := range ov.Finished {
+			switch q.Status {
+			case "finished":
+				res.Finished++
+			case "failed":
+				res.Failed++
+			}
+		}
+	}
+	return res, nil
+}
+
+// g formats a float with full precision: traces must be bit-comparable.
+func g(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// apply performs one action and reports what the checker needs to know about
+// it. Action errors that are part of the service contract (unknown ID, wrong
+// state) are traced, not fatal; only harness breakage is returned as error.
+func (s *sim) apply(kind opKind, arg byte) (checkCtx, error) {
+	switch kind {
+	case opSubmit, opSubmitDelayed:
+		return s.doSubmit(kind == opSubmitDelayed, arg)
+	case opAdvance:
+		v := s.cfg.Quantum * (0.3 + 3.7*float64(arg)/255)
+		fmt.Fprintf(&s.tr, "a%03d advance %s\n", s.actionN, g(v))
+		if err := s.m.Advance(v); err != nil {
+			return checkCtx{}, err
+		}
+		return checkCtx{mutated: true, advanced: true}, nil
+	case opBlock:
+		id, ok := s.pick(arg, "running")
+		if !ok {
+			fmt.Fprintf(&s.tr, "a%03d block skip (no runnable)\n", s.actionN)
+			return checkCtx{}, nil
+		}
+		err := s.m.Block(id)
+		fmt.Fprintf(&s.tr, "a%03d block q%d err=%v\n", s.actionN, id, err)
+		return checkCtx{mutated: true, perturbed: err == nil}, nil
+	case opUnblock:
+		id, ok := s.pick(arg, "blocked")
+		if !ok {
+			fmt.Fprintf(&s.tr, "a%03d unblock skip (no blocked)\n", s.actionN)
+			return checkCtx{}, nil
+		}
+		err := s.m.Unblock(id)
+		fmt.Fprintf(&s.tr, "a%03d unblock q%d err=%v\n", s.actionN, id, err)
+		return checkCtx{mutated: true, perturbed: err == nil}, nil
+	case opAbort:
+		id, ok := s.pick(arg, "any")
+		if !ok {
+			fmt.Fprintf(&s.tr, "a%03d abort skip (no active)\n", s.actionN)
+			return checkCtx{}, nil
+		}
+		err := s.m.Abort(id)
+		if err == nil {
+			s.aborted++
+		}
+		fmt.Fprintf(&s.tr, "a%03d abort q%d err=%v\n", s.actionN, id, err)
+		return checkCtx{mutated: true, perturbed: err == nil}, nil
+	case opSetPriority:
+		id, ok := s.pick(arg, "active")
+		if !ok {
+			fmt.Fprintf(&s.tr, "a%03d priority skip (no active)\n", s.actionN)
+			return checkCtx{}, nil
+		}
+		prio := int(arg>>4) % 3
+		err := s.m.SetPriority(id, prio)
+		fmt.Fprintf(&s.tr, "a%03d priority q%d=%d err=%v\n", s.actionN, id, prio, err)
+		return checkCtx{mutated: true, perturbed: err == nil}, nil
+	case opExec:
+		return s.doExec(arg)
+	case opPlan:
+		return s.doPlan(arg)
+	case opDiagram:
+		d, err := s.m.Diagram(48)
+		if err != nil {
+			return checkCtx{}, err
+		}
+		fmt.Fprintf(&s.tr, "a%03d diagram %d bytes\n%s", s.actionN, len(d), d)
+		return checkCtx{}, nil
+	default:
+		return checkCtx{}, fmt.Errorf("sim: unknown op %d", kind)
+	}
+}
+
+// queryTemplates renders the SQL workload. All templates are scan-driven with
+// accurate optimizer statistics, which is what makes the stage-model
+// exactness invariant meaningful (Assumption 2: remaining costs are known).
+func (s *sim) querySQL(arg byte) string {
+	table := "t0"
+	keys := keyRangeT0
+	if arg&8 != 0 {
+		table = "t1"
+		keys = keyRangeT1
+	}
+	p := int(arg) % keys
+	switch (arg >> 4) % 5 {
+	case 0:
+		return fmt.Sprintf("select sum(v) from %s", table)
+	case 1:
+		return fmt.Sprintf("select count(*) from %s where k < %d", table, p)
+	case 2:
+		return fmt.Sprintf("select k, v from %s where v > %d order by v limit 5", table, p%90)
+	case 3:
+		return fmt.Sprintf("select sum(v), count(*) from %s where k >= %d", table, p)
+	default:
+		// The paper's correlated shape: outer scan over part, index-probe
+		// subquery into t0 per outer row.
+		return fmt.Sprintf("select count(*) from part p where (select sum(l.v) from t0 l where l.k = p.k) > %d", 10*(int(arg)%40))
+	}
+}
+
+func (s *sim) doSubmit(delayed bool, arg byte) (checkCtx, error) {
+	req := service.SubmitRequest{
+		Label:    fmt.Sprintf("q%d", s.submitted+1),
+		SQL:      s.querySQL(arg),
+		Priority: int(arg) % 3,
+	}
+	if delayed {
+		req.Delay = s.cfg.Quantum * (0.5 + float64(arg%16))
+	}
+	view, err := s.m.Submit(req)
+	if err != nil {
+		return checkCtx{}, err
+	}
+	s.submitted++
+	fmt.Fprintf(&s.tr, "a%03d submit id=%d prio=%d delay=%s status=%s sql=%q\n",
+		s.actionN, view.ID, req.Priority, g(req.Delay), view.Status, req.SQL)
+	return checkCtx{mutated: true, perturbed: true}, nil
+}
+
+func (s *sim) doExec(arg byte) (checkCtx, error) {
+	table := "t0"
+	keys := keyRangeT0
+	if arg&4 != 0 {
+		table = "t1"
+		keys = keyRangeT1
+	}
+	s.execN++
+	var stmt string
+	switch arg % 3 {
+	case 0:
+		stmt = fmt.Sprintf("insert into %s values (%d, %d.5), (%d, %d.25)",
+			table, int(arg)%keys, s.execN, (int(arg)+7)%keys, s.execN)
+	case 1:
+		stmt = fmt.Sprintf("delete from %s where k = %d", table, int(arg)%keys)
+	default:
+		stmt = fmt.Sprintf("update %s set v = v + 1 where k = %d", table, int(arg)%keys)
+	}
+	n, err := s.m.Exec(stmt)
+	if err != nil {
+		return checkCtx{}, fmt.Errorf("exec %q: %w", stmt, err)
+	}
+	fmt.Fprintf(&s.tr, "a%03d exec %q rows=%d\n", s.actionN, stmt, n)
+	// DML changes relation cardinalities under running scans: every estimate
+	// may legitimately move, so it perturbs predictions for all queries.
+	return checkCtx{mutated: true, perturbed: true}, nil
+}
+
+func (s *sim) doPlan(arg byte) (checkCtx, error) {
+	switch arg % 3 {
+	case 0:
+		id, ok := s.pick(arg, "running")
+		if !ok {
+			fmt.Fprintf(&s.tr, "a%03d plan speedup-single skip\n", s.actionN)
+			return checkCtx{}, nil
+		}
+		victims, err := s.m.SpeedUpSingle(id, 1+int(arg>>6))
+		if err != nil {
+			fmt.Fprintf(&s.tr, "a%03d plan speedup-single q%d err=%v\n", s.actionN, id, err)
+			return checkCtx{}, nil
+		}
+		fmt.Fprintf(&s.tr, "a%03d plan speedup-single q%d ->", s.actionN, id)
+		for _, v := range victims {
+			fmt.Fprintf(&s.tr, " q%d:%s", v.ID, g(v.Benefit))
+		}
+		fmt.Fprintln(&s.tr)
+	case 1:
+		v, err := s.m.SpeedUpOthers()
+		if err != nil {
+			fmt.Fprintf(&s.tr, "a%03d plan speedup-others err=%v\n", s.actionN, err)
+			return checkCtx{}, nil
+		}
+		fmt.Fprintf(&s.tr, "a%03d plan speedup-others -> q%d:%s\n", s.actionN, v.ID, g(v.Benefit))
+	default:
+		deadline := s.cfg.Quantum * float64(4+int(arg>>3))
+		plan, err := s.m.PlanMaintenance(deadline, wm.Case1CompletedWork, false)
+		if err != nil {
+			fmt.Fprintf(&s.tr, "a%03d plan maintenance err=%v\n", s.actionN, err)
+			return checkCtx{}, nil
+		}
+		fmt.Fprintf(&s.tr, "a%03d plan maintenance deadline=%s abort=%v lost=%s quiescent=%s\n",
+			s.actionN, g(deadline), plan.Abort, g(plan.Lost), g(plan.Quiescent))
+	}
+	return checkCtx{}, nil
+}
+
+// pick deterministically selects a target query: candidates are gathered from
+// the current overview in ID order and indexed by arg.
+func (s *sim) pick(arg byte, class string) (int, bool) {
+	ov, err := s.m.Overview()
+	if err != nil {
+		return 0, false
+	}
+	var ids []int
+	add := func(views []service.QueryView, statuses ...string) {
+		for _, v := range views {
+			for _, st := range statuses {
+				if v.Status == st {
+					ids = append(ids, v.ID)
+				}
+			}
+		}
+	}
+	switch class {
+	case "running":
+		add(ov.Running, "running")
+	case "blocked":
+		add(ov.Running, "blocked")
+	case "active":
+		add(ov.Running, "running", "blocked")
+		add(ov.Queued, "queued")
+	default: // any: everything not yet terminated
+		add(ov.Running, "running", "blocked")
+		add(ov.Queued, "queued")
+		add(ov.Scheduled, "scheduled")
+	}
+	if len(ids) == 0 {
+		return 0, false
+	}
+	sort.Ints(ids)
+	return ids[int(arg)%len(ids)], true
+}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// -seeds widens the matrix locally: `go test ./internal/sim -seeds 256`.
+var seedCount = flag.Int("seeds", 32, "number of seeds in the simulation matrix")
+
+// TestSimMatrix is the standing correctness gate: every seed runs the full
+// randomized workload against the real stack at workers 1, 2, and 4, every
+// invariant must hold, and the three traces must be byte-identical — the
+// parallel execute phase may not change a single virtual-time outcome.
+func TestSimMatrix(t *testing.T) {
+	type stats struct {
+		checked, voided int
+	}
+	var mu sync.Mutex
+	total := stats{}
+	for seed := int64(1); seed <= int64(*seedCount); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			base, err := Run(Config{Seed: seed, Workers: 1})
+			if err != nil {
+				t.Fatalf("workers=1: %v", err)
+			}
+			for _, v := range base.Violations {
+				t.Errorf("workers=1: %s", v)
+			}
+			if base.Submitted == 0 {
+				t.Errorf("run submitted no queries; the action stream is broken")
+			}
+			for _, w := range []int{2, 4} {
+				res, err := Run(Config{Seed: seed, Workers: w})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				for _, v := range res.Violations {
+					t.Errorf("workers=%d: %s", w, v)
+				}
+				if res.Trace != base.Trace {
+					t.Errorf("workers=%d trace differs from workers=1 (lengths %d vs %d): %s",
+						w, len(res.Trace), len(base.Trace), firstDiff(base.Trace, res.Trace))
+				}
+			}
+			mu.Lock()
+			total.checked += base.ExactChecked
+			total.voided += base.ExactVoided
+			mu.Unlock()
+		})
+	}
+	t.Cleanup(func() {
+		// The stage-model exactness invariant is voided on checks where a
+		// cost refinement re-anchored the model. Voids must stay a small
+		// minority (at most a third of checked), or the invariant has
+		// silently gone vacuous.
+		if total.voided*3 > total.checked {
+			t.Errorf("exactness invariant voided too often: checked=%d voided=%d",
+				total.checked, total.voided)
+		}
+		t.Logf("exactness checked=%d voided=%d", total.checked, total.voided)
+	})
+}
+
+// TestSimReplayDeterministic pins the replay contract behind
+// `mqpi-bench -sim -seed N`: the same cell run twice is byte-identical.
+func TestSimReplayDeterministic(t *testing.T) {
+	a, err := Run(Config{Seed: 17, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Seed: 17, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trace != b.Trace {
+		t.Fatalf("same seed, same workers, different traces: %s", firstDiff(a.Trace, b.Trace))
+	}
+}
+
+// TestSimScriptDriven pins the fuzz entry point: a byte script replaces the
+// rng action stream and is likewise deterministic.
+func TestSimScriptDriven(t *testing.T) {
+	script := []byte{
+		0x00, 0x10, // submit
+		0x04, 0x80, // advance
+		0x00, 0x57, // submit
+		0x09, 0x00, // block
+		0x04, 0xff, // advance
+		0x0a, 0x00, // unblock
+		0x0b, 0x01, // abort
+		0x04, 0x40, // advance
+	}
+	a, err := Run(Config{Seed: 3, Script: script})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Violations) > 0 {
+		t.Fatalf("violations: %v", a.Violations)
+	}
+	if a.Submitted != 2 || a.Actions < 8 {
+		t.Fatalf("script applied %d actions, submitted %d; want >=8 actions, 2 submissions", a.Actions, a.Submitted)
+	}
+	b, err := Run(Config{Seed: 3, Script: script})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trace != b.Trace {
+		t.Fatalf("script run not deterministic: %s", firstDiff(a.Trace, b.Trace))
+	}
+}
+
+// firstDiff locates the first differing line of two traces.
+func firstDiff(a, b string) string {
+	la, lb := splitLines(a), splitLines(b)
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if la[i] != lb[i] {
+			return fmt.Sprintf("line %d: %q vs %q", i+1, la[i], lb[i])
+		}
+	}
+	return fmt.Sprintf("one trace is a prefix of the other (%d vs %d lines)", len(la), len(lb))
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != '\n' {
+			i++
+		}
+		out = append(out, s[:i])
+		if i < len(s) {
+			i++
+		}
+		s = s[i:]
+	}
+	return out
+}
