@@ -1,7 +1,7 @@
 GO ?= go
 COVER_PROFILE ?= cover.out
 
-.PHONY: build test bench bench-all race vet ci serve cover cover-check fuzz-smoke
+.PHONY: build test bench bench-all bench-check race vet ci serve cover cover-check fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,7 @@ ci: vet build race
 	GOMAXPROCS=1 $(GO) test -race -count=1 -run 'TestParallelTick|TestEventsDeterministicAcrossWorkers' ./internal/sched/ ./internal/service/
 	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestParallelTick|TestEventsDeterministicAcrossWorkers' ./internal/sched/ ./internal/service/
 	$(MAKE) cover-check
+	$(MAKE) bench-check
 	$(MAKE) fuzz-smoke
 
 # cover prints the per-package coverage table and the repo-wide total.
@@ -60,6 +61,34 @@ cover-check:
 	echo "coverage: $$total% of statements (floor $$floor%)"; \
 	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t+0 < f+0) }' || \
 		{ echo "coverage $$total% fell below the committed baseline $$floor%"; exit 1; }
+
+# bench-check is the allocation ratchet: a short BenchmarkParallelTick run's
+# allocs/op must not exceed the figures committed in BENCH_tickpath.json
+# (currently 0 across the board — the zero-alloc steady-state tick). Timings
+# are machine-dependent and not compared; allocation counts are deterministic,
+# so even a -benchtime 10x run measures them exactly. SHORT=1 skips it.
+bench-check:
+ifeq ($(SHORT),1)
+	@echo "SHORT=1: skipping bench-check"
+else
+	@$(GO) test -run '^$$' -bench ParallelTick -benchtime 10x -benchmem ./internal/sched/ > bench_live.txt || { cat bench_live.txt; rm -f bench_live.txt; exit 1; }
+	@awk ' \
+		FILENAME == "BENCH_tickpath.json" { \
+			if ($$1 == "\"name\":") { name = $$2; gsub(/[",]/, "", name) } \
+			if ($$1 == "\"allocs_per_op\":") { allocs = $$2; gsub(/,/, "", allocs); base[name] = allocs + 0 } \
+			next \
+		} \
+		/^BenchmarkParallelTick\// && / allocs\/op/ { \
+			name = $$1; sub(/-[0-9]+$$/, "", name); \
+			live = $$(NF-1) + 0; \
+			if (name in base) { \
+				printf "%-42s %3d allocs/op (baseline %d)\n", name, live, base[name]; \
+				if (live > base[name]) { bad = 1 } \
+			} \
+		} \
+		END { if (bad) { print "bench-check: allocs/op regressed above BENCH_tickpath.json"; exit 1 } } \
+	' BENCH_tickpath.json bench_live.txt; status=$$?; rm -f bench_live.txt; exit $$status
+endif
 
 # fuzz-smoke gives each native fuzz target a short budget on every ci run, so
 # the harnesses can't rot and the checked-in corpora keep replaying. SHORT=1

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// Estimate-path benchmarks: from-scratch ComputeProfile against the
+// incremental stage structure, over a slowly changing mix — the service's
+// per-epoch shape, where a tick refines a handful of costs and at most one
+// query arrives or finishes. The committed curve lives in EXPERIMENTS.md;
+// the paper's point is that maintaining the §2.2 sort beats redoing it.
+
+// benchStates builds n runnable queries with deterministically scattered
+// costs and a small weight palette.
+func benchStates(n int) []QueryState {
+	states := make([]QueryState, n)
+	rng := uint64(0x9e3779b97f4a7c15)
+	for i := range states {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		states[i] = QueryState{
+			ID:        i + 1,
+			Remaining: 1 + float64(rng%100000)/10,
+			Weight:    []float64{1, 1, 2, 4}[(rng>>32)%4],
+			Done:      0,
+		}
+	}
+	return states
+}
+
+// mutateStates applies one epoch's worth of churn in place: ~8 cost
+// refinements plus one membership change (a finish replaced by an arrival, so
+// n stays constant and runs are comparable).
+func mutateStates(states []QueryState, step int) {
+	n := len(states)
+	for k := 0; k < 8; k++ {
+		i := (step*8 + k*131) % n
+		states[i].Remaining = math.Max(0.1, states[i].Remaining*0.97)
+	}
+	j := (step * 977) % n
+	states[j] = QueryState{
+		ID:        n + step + 1,
+		Remaining: 50 + float64((step*2654435761)%1000),
+		Weight:    1,
+	}
+}
+
+func BenchmarkEstimatePathFromScratch(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			states := benchStates(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				mutateStates(states, i)
+				b.StartTimer()
+				prof := ComputeProfile(states, 1000)
+				if len(prof.Finish) == 0 {
+					b.Fatal("empty profile")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEstimatePathIncremental(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			states := benchStates(n)
+			p := NewIncrementalProfile()
+			p.Sync(states)
+			var out Profile
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				mutateStates(states, i)
+				b.StartTimer()
+				p.Sync(states)
+				p.ProfileInto(1000, &out)
+				if len(out.Finish) == 0 {
+					b.Fatal("empty profile")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEstimatePathPerEvent measures the pure event path with no
+// materialization: patch one query and read one finish time back — the
+// O(log n) unit the progress-indicator poll loop pays per refinement when it
+// needs a single query's ETA rather than the whole profile.
+func BenchmarkEstimatePathPerEvent(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			states := benchStates(n)
+			p := NewIncrementalProfile()
+			p.Sync(states)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := states[i%n]
+				q.Remaining = math.Max(0.1, q.Remaining*0.97)
+				states[i%n] = q
+				p.Upsert(q)
+				if f, ok := p.FinishOf(q.ID, 1000); !ok || f < 0 {
+					b.Fatal("lost query")
+				}
+			}
+		})
+	}
+}

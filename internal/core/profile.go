@@ -259,27 +259,34 @@ func SimulateProfile(running []QueryState, C float64, opt SimOptions) Profile {
 
 	const eps = 1e-12
 	for {
-		// Termination: every real query has a finish time.
-		allDone := true
+		// Termination: stop once every real query — active or queued — has a
+		// finish time. A non-empty queue behind virtual-only occupants must
+		// NOT terminate the loop: virtual arrivals finish in finite time and
+		// free their MPL slots, so queued real queries still inherit finite
+		// ETAs (the horizon and the W<=0 branch below cover the degenerate
+		// virtual mixes that never drain).
+		realLeft := false
 		for _, q := range active {
 			if !q.virtual {
-				allDone = false
+				realLeft = true
 				break
 			}
 		}
-		if allDone {
-			for _, q := range queue {
-				// Queue can only be non-empty here if MPL blocks admission
-				// forever (all active are virtual and never finish within
-				// horizon) — treat as unknown.
-				prof.Finish[q.ID] = math.Inf(1)
-			}
-			if len(active) == 0 || nextArrival == math.Inf(1) {
+		if !realLeft {
+			if len(queue) == 0 {
+				// Only virtual queries (if any) remain; real work is done.
 				break
 			}
-			// Only virtual queries remain and more would arrive; real work
-			// is done, so stop.
-			break
+			if len(active) == 0 {
+				// Defensive: admit() fills every free slot, so a non-empty
+				// queue with nothing active means admission is impossible.
+				for _, q := range queue {
+					prof.Finish[q.ID] = math.Inf(1)
+				}
+				break
+			}
+			// All MPL slots are held by virtual arrivals; keep simulating so
+			// their finishes admit the queued real queries.
 		}
 
 		// Total weight of runnable queries.
@@ -375,7 +382,13 @@ func SimulateProfile(running []QueryState, C float64, opt SimOptions) Profile {
 		}
 		now += dt
 
-		// Retire finished queries.
+		// Retire finished queries. Simultaneous finishers are canonicalized to
+		// ascending ID order — the tie order ComputeProfile's (ratio, ID) sort
+		// produces — rather than active-slice insertion order, so the profile
+		// stays bit-comparable against any reordered implementation. Only
+		// Order needs the sort: every finisher in the batch shares Finish=now,
+		// and the duration recovery below reads Finish, not positions.
+		finStart := len(prof.Order)
 		kept := active[:0]
 		for _, q := range active {
 			amount := C * (q.Weight / W) * dt
@@ -390,6 +403,9 @@ func SimulateProfile(running []QueryState, C float64, opt SimOptions) Profile {
 			kept = append(kept, q)
 		}
 		active = kept
+		if len(prof.Order)-finStart > 1 {
+			sort.Ints(prof.Order[finStart:])
+		}
 
 		if arriving {
 			virtualSeq++

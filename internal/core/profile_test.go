@@ -381,3 +381,63 @@ func TestAdversarialInputsNeverPanicOrHang(t *testing.T) {
 		}
 	}
 }
+
+// TestSimulateQueuedBehindVirtualArrivals is the regression test for queued
+// real queries being marked +Inf when only virtual arrivals occupy the active
+// set: virtuals bypass the admission queue (they model load, not admissions)
+// but still finish in finite time and free their MPL slots, so a queued real
+// query must inherit a finite ETA instead of "never".
+//
+// Construction: MPL 1, C 10. q1 (10 U) runs alone; one virtual arrival (8 U)
+// lands at t=0.5 (λ=2, window 0.6 keeps it to exactly one). From t=0.5 both
+// share C: q1 finishes its last 5 U at t=1.5, leaving only the virtual active
+// — the state the old code treated as terminal, freezing q2 at +Inf. The
+// virtual's remaining 3 U drain by t=1.8, q2 is admitted and finishes at
+// t=2.8.
+func TestSimulateQueuedBehindVirtualArrivals(t *testing.T) {
+	running := []QueryState{{ID: 1, Remaining: 10, Weight: 1}}
+	queued := []QueryState{{ID: 2, Remaining: 10, Weight: 1}}
+	prof := SimulateProfile(running, 10, SimOptions{
+		MPL:           1,
+		Queued:        queued,
+		Arrivals:      &ArrivalModel{Lambda: 2, AvgCost: 8, AvgWeight: 1},
+		ArrivalWindow: 0.6,
+	})
+	if !almostEq(prof.Finish[1], 1.5) {
+		t.Errorf("q1 finish = %v, want 1.5", prof.Finish[1])
+	}
+	if math.IsInf(prof.Finish[2], 1) {
+		t.Fatalf("q2 stuck at +Inf behind a virtual-only active set")
+	}
+	if !almostEq(prof.Finish[2], 2.8) {
+		t.Errorf("q2 finish = %v, want 2.8", prof.Finish[2])
+	}
+}
+
+// TestSimulateSimultaneousFinishTieOrder pins the canonical tie order:
+// queries that finish at the same instant retire in ascending ID order — the
+// order ComputeProfile's (ratio, ID) sort produces — not in active-slice
+// insertion order, so the two models stay bit-comparable.
+func TestSimulateSimultaneousFinishTieOrder(t *testing.T) {
+	states := []QueryState{
+		{ID: 7, Remaining: 100, Weight: 1},
+		{ID: 3, Remaining: 100, Weight: 1},
+		{ID: 5, Remaining: 50, Weight: 1},
+	}
+	prof := SimulateProfile(states, 10, SimOptions{})
+	want := []int{5, 3, 7}
+	if len(prof.Order) != len(want) {
+		t.Fatalf("order %v, want %v", prof.Order, want)
+	}
+	for i, id := range want {
+		if prof.Order[i] != id {
+			t.Fatalf("order %v, want %v (ties must retire by ascending ID)", prof.Order, want)
+		}
+	}
+	closed := ComputeProfile(states, 10)
+	for i := range want {
+		if prof.Order[i] != closed.Order[i] {
+			t.Fatalf("simulated order %v differs from closed-form order %v", prof.Order, closed.Order)
+		}
+	}
+}

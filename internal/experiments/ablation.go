@@ -85,7 +85,7 @@ func RunMCQAblation(cfg MCQConfig, optimizerOnly bool) (*AblationResult, error) 
 		}
 		samples = append(samples, sampleRec{
 			t:   srv.Now(),
-			est: core.MultiQueryRemainingTimes(states(), cfg.RateC)[focus.ID],
+			est: stageEstimates(states(), cfg.RateC)[focus.ID],
 		})
 	}, func() bool {
 		return focus.Status == sched.StatusFinished || focus.Status == sched.StatusFailed

@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"mqpi/internal/core"
 	"mqpi/internal/sched"
@@ -107,10 +108,37 @@ func singleEstimate(srv *sched.Server, q *sched.Query) float64 {
 	return core.SingleQueryRemainingTime(q.Runner.EstRemaining(), s)
 }
 
+// incrementalShadow, when non-nil, receives every §2.2 closed-form input the
+// sweeps evaluate (states plus rate C). The experiments test installs a
+// differential checker that patches a run-long core.IncrementalProfile and
+// demands bit-identity with the from-scratch profile, so the paper sweeps
+// double as a corpus for the incremental stage structure. Sweeps may evaluate
+// estimates from pool workers, so the hook is called under shadowMu.
+var (
+	shadowMu          sync.Mutex
+	incrementalShadow func(states []core.QueryState, C float64)
+)
+
+func shadowCheck(states []core.QueryState, C float64) {
+	shadowMu.Lock()
+	if incrementalShadow != nil {
+		incrementalShadow(states, C)
+	}
+	shadowMu.Unlock()
+}
+
+// stageEstimates is the §2.2 closed form over explicit states, mirrored
+// through the incremental shadow checker when one is installed. Every sweep's
+// no-queue/no-arrival estimate goes through here.
+func stageEstimates(states []core.QueryState, C float64) map[int]float64 {
+	shadowCheck(states, C)
+	return core.MultiQueryRemainingTimes(states, C)
+}
+
 // multiEstimates is the multi-query PI of §2.2 over the server's current
 // running set.
 func multiEstimates(srv *sched.Server) map[int]float64 {
-	return core.MultiQueryRemainingTimes(srv.StateRunning(), srv.RateC())
+	return stageEstimates(srv.StateRunning(), srv.RateC())
 }
 
 // runSampled ticks the server, invoking sample at time 0 and then every

@@ -405,6 +405,7 @@ func keptUnfinished(kept []maintSnapshot, C, t float64, mode wm.LostWorkMode) fl
 	for i, s := range kept {
 		states[i] = core.QueryState{ID: s.id, Remaining: s.trueRem, Weight: 1, Done: s.doneWork}
 	}
+	shadowCheck(states, C)
 	prof := core.ComputeProfile(states, C)
 	var doneBy map[int]float64
 	if mode == wm.Case1CompletedWork {

@@ -125,7 +125,7 @@ func RunMPLSweep(cfg MPLSweepConfig) (*MPLSweepResult, error) {
 		for _, q := range srv.Queued() {
 			single[q.ID] = q.Runner.EstRemaining() / cfg.RateC
 		}
-		blind := core.MultiQueryRemainingTimes(running, cfg.RateC)
+		blind := stageEstimates(running, cfg.RateC)
 		aware := core.MultiQueryWithQueue(running, queued, mpl, cfg.RateC)
 		// Queue-blind has no prediction for queued queries either; give
 		// it the same fallback as the single PI.

@@ -121,7 +121,7 @@ func RunNAQ(cfg NAQConfig) (*NAQResult, error) {
 		samples = append(samples, sampleRec{
 			t:         srv.Now(),
 			single:    singleEstimate(srv, q1),
-			noQueue:   core.MultiQueryRemainingTimes(running, cfg.RateC)[q1.ID],
+			noQueue:   stageEstimates(running, cfg.RateC)[q1.ID],
 			withQueue: core.MultiQueryWithQueue(running, queued, cfg.MPL, cfg.RateC)[q1.ID],
 		})
 	}, func() bool {

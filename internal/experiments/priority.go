@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"mqpi/internal/core"
 	"mqpi/internal/metrics"
 	"mqpi/internal/sched"
 	"mqpi/internal/workload"
@@ -188,7 +187,7 @@ func runPriorityOnce(ds *workload.Dataset, cfg PriorityConfig, rngSeed int64) (*
 
 	// Time-0 estimates.
 	states := srv.StateRunning()
-	multi := core.MultiQueryRemainingTimes(states, cfg.RateC)
+	multi := stageEstimates(states, cfg.RateC)
 	single := make(map[int]float64, len(queries))
 	for _, q := range queries {
 		single[q.ID] = singleEstimate(srv, q)

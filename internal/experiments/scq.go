@@ -145,6 +145,7 @@ func runSCQOnce(ds *workload.Dataset, cfg SCQConfig, lambda float64, lambdaPrime
 		run.single[q.ID] = singleEstimate(srv, q)
 	}
 	states := srv.StateRunning()
+	shadowCheck(states, cfg.RateC)
 	for _, lp := range lambdaPrimes {
 		am := core.ArrivalModel{Lambda: lp, AvgCost: cbar, AvgWeight: 1}
 		run.multi[lp] = core.MultiQueryWithFuture(states, nil, 0, cfg.RateC, am)
@@ -512,6 +513,7 @@ func RunSCQTrajectory(cfg SCQConfig, lambdaPrimes []float64) (*SCQTrajectoryResu
 		}
 		if srv.Now()+1e-9 >= nextSample {
 			states := srv.StateRunning()
+			shadowCheck(states, cfg.RateC)
 			est := make(map[float64]map[int]float64, len(lambdaPrimes))
 			for _, lp := range lambdaPrimes {
 				am := core.ArrivalModel{Lambda: lp, AvgCost: cbar, AvgWeight: 1}

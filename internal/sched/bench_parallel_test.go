@@ -27,20 +27,20 @@ var benchTickDB struct {
 	db   *engine.DB
 }
 
-func benchDB(b *testing.B) *engine.DB {
+func benchDB(tb testing.TB) *engine.DB {
 	benchTickDB.once.Do(func() {
 		db := engine.Open()
 		if _, err := db.Exec("CREATE TABLE big (a BIGINT)"); err != nil {
-			b.Fatal(err)
+			tb.Fatal(err)
 		}
 		cat := db.Catalog()
 		for i := 0; i < benchTickPages*64; i++ {
 			if err := cat.Insert("big", types.Row{types.NewInt(int64(i % 9973))}); err != nil {
-				b.Fatal(err)
+				tb.Fatal(err)
 			}
 		}
 		if err := db.Analyze(); err != nil {
-			b.Fatal(err)
+			tb.Fatal(err)
 		}
 		benchTickDB.db = db
 	})
@@ -79,15 +79,25 @@ func BenchmarkParallelTick(b *testing.B) {
 						srv.Submit(srv.NewQuery(fmt.Sprintf("b%d", i), "", 0, r))
 					}
 				}
+				// Each query lives 8 ticks (2048 pages at 256/tick). Rebuild
+				// every 6 timed ticks, with the rebuild and one warm-up tick
+				// off the clock, so the timed region is pure steady state —
+				// no query completions, no scratch growth — and allocs/op
+				// reports the steady-state figure the alloc tests pin.
 				rebuild()
+				srv.Tick()
+				ticksLeft := 5
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if !srv.Busy() {
+					if ticksLeft == 0 {
 						b.StopTimer()
 						rebuild()
+						srv.Tick()
+						ticksLeft = 5
 						b.StartTimer()
 					}
 					srv.Tick()
+					ticksLeft--
 				}
 				b.StopTimer()
 				srv.Close()

@@ -57,21 +57,22 @@ func (s *Server) Workers() int {
 }
 
 // executePhase steps every query in runnable against its pre-computed credit
-// and returns one result per query, index-aligned with runnable. The result
-// slice is a per-server scratch buffer, valid until the next round.
-func (s *Server) executePhase(runnable []*Query) []stepResult {
-	if cap(s.stepBuf) < len(runnable) {
-		s.stepBuf = make([]stepResult, len(runnable))
+// (credits is index-aligned with runnable) and returns one result per query,
+// also index-aligned. The result slice is part of the server's tick scratch,
+// valid until the next round.
+func (s *Server) executePhase(runnable []*Query, credits []float64) []stepResult {
+	if cap(s.scratch.results) < len(runnable) {
+		s.scratch.results = make([]stepResult, len(runnable))
 	}
-	results := s.stepBuf[:len(runnable)]
+	results := s.scratch.results[:len(runnable)]
 	start := time.Now()
 	if s.cfg.Workers > 1 && len(runnable) > 1 {
 		if s.pool == nil {
 			s.pool = newExecPool(s.cfg.Workers)
 		}
-		s.pool.run(runnable, results)
+		s.pool.run(runnable, credits, results)
 	} else {
-		b := execBatch{queries: runnable, results: results}
+		b := execBatch{queries: runnable, credits: credits, results: results}
 		b.drain()
 	}
 	s.lastStats.Rounds++
@@ -87,6 +88,7 @@ func (s *Server) executePhase(runnable []*Query) []stepResult {
 // settlement reads them.
 type execBatch struct {
 	queries []*Query
+	credits []float64
 	results []stepResult
 	next    atomic.Int64
 	wg      sync.WaitGroup
@@ -99,10 +101,10 @@ func (b *execBatch) drain() {
 			return
 		}
 		q := b.queries[i]
-		// q.credit was fixed by the allocate phase and is read-only until
+		// The credit was fixed by the allocate phase and is read-only until
 		// settlement; Step mutates only the runner, which belongs to exactly
 		// one query.
-		consumed, done, err := q.Runner.Step(q.credit)
+		consumed, done, err := q.Runner.Step(b.credits[i])
 		b.results[i] = stepResult{consumed: consumed, done: done, err: err}
 	}
 }
@@ -116,6 +118,11 @@ type execPool struct {
 	batches chan *execBatch
 	quit    chan struct{}
 	once    sync.Once
+	// batch is the pool's reusable work list. Only the owner goroutine runs
+	// execute phases, and run() returns only after every helper is done with
+	// the batch (wg.Wait), so one reused value is race-free and keeps the
+	// per-round &execBatch{...} allocation off the steady-state tick path.
+	batch execBatch
 }
 
 func newExecPool(workers int) *execPool {
@@ -148,8 +155,10 @@ func (p *execPool) close() { p.once.Do(func() { close(p.quit) }) }
 // goroutine, returning once every result slot is filled. On a closed pool
 // the caller drains the whole batch alone, so ticking a closed server stays
 // correct (just serial).
-func (p *execPool) run(queries []*Query, results []stepResult) {
-	b := &execBatch{queries: queries, results: results}
+func (p *execPool) run(queries []*Query, credits []float64, results []stepResult) {
+	b := &p.batch
+	b.queries, b.credits, b.results = queries, credits, results
+	b.next.Store(0)
 	n := p.helpers
 	if n > len(queries)-1 {
 		n = len(queries) - 1

@@ -1,0 +1,7 @@
+//go:build !race
+
+package sched
+
+// raceEnabled reports whether the race detector is compiled in. The detector
+// instruments allocations, so alloc-count assertions are skipped under -race.
+const raceEnabled = false

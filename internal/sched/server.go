@@ -181,9 +181,31 @@ type Server struct {
 	arrivals arrivalHeap
 	onFinish []func(*Query)
 
-	pool      *execPool    // execute-phase workers, created lazily when Workers > 1
-	stepBuf   []stepResult // per-round scratch, index-aligned with runnable
+	pool      *execPool   // execute-phase workers, created lazily when Workers > 1
+	scratch   tickScratch // reused allocate/execute/settle working set
 	lastStats TickStats
+}
+
+// tickScratch is the tick's reusable working set: the SoA credit plane —
+// runnable queries with their weights and credit balances in index-aligned
+// slices — plus the execute phase's stepResult buffer and the retirement
+// list. Buffers grow to the high-water mark of concurrent queries and stay,
+// so a steady-state Tick (no finishes, no admissions) allocates nothing
+// (pinned by TestTickSteadyStateAllocs and the BENCH_tickpath.json baseline).
+type tickScratch struct {
+	runnable []*Query
+	weights  []float64
+	credits  []float64
+	results  []stepResult
+	finished []*Query
+}
+
+func (t *tickScratch) ensure(n int) {
+	if cap(t.runnable) < n {
+		t.runnable = make([]*Query, 0, n)
+		t.weights = make([]float64, n)
+		t.credits = make([]float64, n)
+	}
 }
 
 // New creates a server.
@@ -231,10 +253,24 @@ func (s *Server) NewQuery(label, sqlText string, priority int, r *exec.Runner) *
 		SQL:      sqlText,
 		Priority: priority,
 		Runner:   r,
-		tracker:  core.NewSpeedTracker(s.cfg.SpeedWindow),
+		tracker:  core.NewSpeedTrackerSized(s.cfg.SpeedWindow, s.trackerSamples()),
 	}
 	s.nextID++
 	return q
+}
+
+// trackerSamples sizes a query's speed-tracker ring for one observation per
+// quantum across the speed window (plus slack for the ≥2-sample retention
+// rule), so steady ticking never regrows it.
+func (s *Server) trackerSamples() int {
+	n := int(s.cfg.SpeedWindow/s.cfg.Quantum) + 4
+	if n < 8 {
+		n = 8
+	}
+	if n > 4096 {
+		n = 4096
+	}
+	return n
 }
 
 // Submit places a query in the server: it starts running immediately if an
@@ -416,14 +452,27 @@ func (s *Server) distribute(dt float64) {
 	if dt <= 0 {
 		return
 	}
-	var runnable []*Query
+	// The segment runs on the scratch SoA credit plane: runnable queries,
+	// their weights, and their credit balances live in index-aligned slices,
+	// loaded once here and written back once at the end. The rounds below
+	// therefore touch no maps (WeightOf is called once per query per segment;
+	// priorities cannot change mid-Tick) and allocate nothing.
+	s.scratch.ensure(len(s.running))
+	runnable := s.scratch.runnable[:0]
 	for _, q := range s.running {
 		if q.Status == StatusRunning {
 			runnable = append(runnable, q)
 		}
 	}
+	s.scratch.runnable = runnable
 	if len(runnable) == 0 {
 		return
+	}
+	weights := s.scratch.weights[:len(runnable)]
+	credits := s.scratch.credits[:len(runnable)]
+	for i, q := range runnable {
+		weights[i] = s.WeightOf(q.Priority)
+		credits[i] = q.credit
 	}
 	rate := s.cfg.RateC
 	if s.cfg.RateFunc != nil {
@@ -442,28 +491,31 @@ func (s *Server) distribute(dt float64) {
 		// and purely in virtual time. Each share depends only on the pool
 		// and the weight table, never on another query's execution.
 		W := 0.0
-		for _, q := range runnable {
-			W += s.WeightOf(q.Priority)
+		for i := range runnable {
+			W += weights[i]
 		}
 		if W <= 0 {
 			break
 		}
 		pool := budget
 		budget = 0
-		for _, q := range runnable {
-			q.credit += pool * s.WeightOf(q.Priority) / W
+		for i := range runnable {
+			credits[i] += pool * weights[i] / W
 		}
 		// (2) execute: step every runner against its fixed credit —
 		// concurrently when Workers allows it. A query whose accrued credit
 		// is still non-positive (a prior overshoot) steps with a
 		// non-positive budget, which performs no work.
-		results := s.executePhase(runnable)
+		results := s.executePhase(runnable, credits)
 		// (3) settle: fold consumed and leftover work back in admission
 		// order, so float accumulation is independent of which worker
 		// finished first and bit-identical to the serial scheduler.
+		// Compaction happens in the same pass, in place, preserving
+		// admission order across all three parallel slices.
+		keep := 0
 		for i, q := range runnable {
 			r := results[i]
-			q.credit -= r.consumed
+			credits[i] -= r.consumed
 			if r.done {
 				q.FinishTime = s.now + dt
 				if r.err != nil {
@@ -475,19 +527,25 @@ func (s *Server) distribute(dt float64) {
 				// Reclaim the finisher's unconsumed share for the rest
 				// of the segment. A finishing Step can overshoot by a
 				// tuple, so only a positive remainder is returned.
-				if q.credit > 0 {
-					budget += q.credit
+				if credits[i] > 0 {
+					budget += credits[i]
 				}
 				q.credit = 0
+				continue
 			}
+			runnable[keep] = q
+			weights[keep] = weights[i]
+			credits[keep] = credits[i]
+			keep++
 		}
-		active := runnable[:0]
-		for _, q := range runnable {
-			if q.Status == StatusRunning {
-				active = append(active, q)
-			}
-		}
-		runnable = active
+		runnable = runnable[:keep]
+		weights = weights[:keep]
+		credits = credits[:keep]
+	}
+	// Persist surviving balances back to the queries (blocked queries were
+	// never loaded and keep theirs untouched).
+	for i, q := range runnable {
+		q.credit = credits[i]
 	}
 }
 
@@ -523,18 +581,27 @@ func (s *Server) Tick() {
 	// Retire finished queries and refill MPL slots. Retirement is sorted by
 	// query ID — not admission or completion order — so the `done` list,
 	// OnFinish callbacks, and everything layered on them (the service's
-	// /events stream) are byte-identical at every worker count.
-	var finished []*Query
+	// /events stream) are byte-identical at every worker count. The finished
+	// list lives in the tick scratch and is ordered by insertion sort (IDs are
+	// unique; finishes per tick are few), so steady-state retirement neither
+	// allocates the slice nor a sort.Slice closure.
+	finished := s.scratch.finished[:0]
 	kept := s.running[:0]
 	for _, q := range s.running {
 		if q.Status == StatusFinished || q.Status == StatusFailed {
+			j := len(finished)
 			finished = append(finished, q)
+			for j > 0 && finished[j-1].ID > q.ID {
+				finished[j] = finished[j-1]
+				j--
+			}
+			finished[j] = q
 			continue
 		}
 		kept = append(kept, q)
 	}
 	s.running = kept
-	sort.Slice(finished, func(i, j int) bool { return finished[i].ID < finished[j].ID })
+	s.scratch.finished = finished
 	s.done = append(s.done, finished...)
 	s.fillSlots()
 

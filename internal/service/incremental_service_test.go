@@ -1,0 +1,136 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"mqpi/internal/core"
+	"mqpi/internal/engine"
+	"mqpi/internal/sched"
+)
+
+func sameEstimate(a, b core.Estimate) bool {
+	return math.Float64bits(a.SingleQuery) == math.Float64bits(b.SingleQuery) &&
+		math.Float64bits(a.MultiQuery) == math.Float64bits(b.MultiQuery)
+}
+
+// checkIncrementalEstimates compares the manager's live estimate path — the
+// incremental stage structure behind estimatesFor — against the stateless
+// oracle Snapshot.estimates, bit for bit, on the current snapshot.
+func checkIncrementalEstimates(t *testing.T, m *Manager, step string) {
+	t.Helper()
+	snap, err := m.read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := snap.estimates()
+	got := m.estimatesFor(snap)
+	if math.Float64bits(got.quiescent) != math.Float64bits(want.quiescent) {
+		t.Fatalf("%s: quiescent = %v, want %v", step, got.quiescent, want.quiescent)
+	}
+	if len(got.perQuery) != len(want.perQuery) {
+		t.Fatalf("%s: %d estimates, want %d", step, len(got.perQuery), len(want.perQuery))
+	}
+	for id, w := range want.perQuery {
+		if g, ok := got.perQuery[id]; !ok || !sameEstimate(g, w) {
+			t.Fatalf("%s: query %d estimate = %+v, want %+v", step, id, got.perQuery[id], w)
+		}
+	}
+}
+
+// TestIncrementalEstimatesMatchStateless drives a manager through submission
+// bursts, queueing, block/unblock, priority changes, an abort, and thirty
+// ticks of drainage, checking after every transition that the incremental
+// read path returns exactly — bitwise — what the stateless ComputeEstimates
+// oracle returns for the same snapshot. This pins the service-layer half of
+// the incremental profile's bit-identity contract (the core half is pinned by
+// the differential tests in internal/core, the sim half by invariant I10).
+func TestIncrementalEstimatesMatchStateless(t *testing.T) {
+	db := engine.Open()
+	for i := 0; i < 6; i++ {
+		loadTable(t, db, fmt.Sprintf("inc%d", i), 8+4*i)
+	}
+	m := manual(t, db, sched.Config{
+		RateC:   12,
+		Quantum: 0.5,
+		MPL:     3,
+		Weights: map[int]float64{1: 2, 2: 4},
+	})
+
+	ids := make([]int, 0, 6)
+	for i := 0; i < 6; i++ {
+		v, err := m.Submit(SubmitRequest{
+			Label:    fmt.Sprintf("q%d", i),
+			SQL:      fmt.Sprintf("SELECT SUM(a) FROM inc%d", i),
+			Priority: i % 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+		// With MPL 3, submissions 4–6 queue up: the non-empty-queue fallback
+		// (event-stepped simulation) is exercised alongside the fast path.
+		checkIncrementalEstimates(t, m, fmt.Sprintf("submit %d", i))
+	}
+
+	for step := 0; step < 30; step++ {
+		if err := m.Advance(0.5); err != nil {
+			t.Fatal(err)
+		}
+		checkIncrementalEstimates(t, m, fmt.Sprintf("tick %d", step))
+		switch step {
+		case 2:
+			if err := m.Block(ids[0]); err != nil {
+				t.Fatal(err)
+			}
+			checkIncrementalEstimates(t, m, "block")
+		case 4:
+			if err := m.SetPriority(ids[1], 2); err != nil {
+				t.Fatal(err)
+			}
+			checkIncrementalEstimates(t, m, "priority")
+		case 6:
+			if err := m.Unblock(ids[0]); err != nil {
+				t.Fatal(err)
+			}
+			checkIncrementalEstimates(t, m, "unblock")
+		case 8:
+			// The target may already have finished depending on the weight
+			// mix; either way the post-action snapshot must stay consistent.
+			_ = m.Abort(ids[2])
+			checkIncrementalEstimates(t, m, "abort")
+		}
+	}
+}
+
+// TestIncrementalEstimatesArrivalsFallback pins the fallback contract: with a
+// §2.4 arrival model configured, the incremental estimator must defer to the
+// stateless event-stepped simulation verbatim.
+func TestIncrementalEstimatesArrivalsFallback(t *testing.T) {
+	db := engine.Open()
+	loadTable(t, db, "arr0", 10)
+	loadTable(t, db, "arr1", 14)
+	m := New(db, Config{
+		Sched:     sched.Config{RateC: 10, Quantum: 0.5, MPL: 2},
+		TickEvery: -1,
+		Arrivals:  &core.ArrivalModel{Lambda: 0.5, AvgCost: 8, AvgWeight: 1},
+	})
+	t.Cleanup(m.Close)
+
+	for i, tbl := range []string{"arr0", "arr1"} {
+		if _, err := m.Submit(SubmitRequest{
+			Label: fmt.Sprintf("a%d", i),
+			SQL:   "SELECT SUM(a) FROM " + tbl,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		checkIncrementalEstimates(t, m, fmt.Sprintf("submit %d", i))
+	}
+	for step := 0; step < 6; step++ {
+		if err := m.Advance(0.5); err != nil {
+			t.Fatal(err)
+		}
+		checkIncrementalEstimates(t, m, fmt.Sprintf("tick %d", step))
+	}
+}

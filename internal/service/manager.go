@@ -17,9 +17,11 @@
 // pointer; Progress, Overview, Diagram, and the §3 planners load the latest
 // snapshot and compute their views on the *caller's* goroutine, never
 // touching the owner channel. A per-epoch estimate cache with singleflight
-// semantics makes N concurrent pollers of the same epoch share one
-// EstimateAll computation, so polls scale with reader parallelism instead of
-// serializing behind each other and the scheduler ticks.
+// semantics makes N concurrent pollers of the same epoch share one estimate
+// computation — itself backed by an incremental stage structure that patches
+// only what changed since the previous epoch — so polls scale with reader
+// parallelism instead of serializing behind each other and the scheduler
+// ticks.
 //
 // On top of the session manager sits the observability layer: Prometheus
 // counters/gauges/histograms (Metrics, including read-path cache hit/miss
@@ -116,6 +118,14 @@ type Manager struct {
 	// mutation; pollers load it and share per-epoch estimates via cache.
 	snap  atomic.Pointer[Snapshot]
 	cache estimateCache
+	// readEst is the read path's maintained incremental stage structure:
+	// successive epochs over a slowly changing mix refill the estimate cache
+	// in O(changed·log n) instead of re-sorting everything. The singleflight
+	// cache already collapses concurrent pollers of one epoch to one compute,
+	// but a straggler holding the previous epoch may compute concurrently, so
+	// readMu serializes access to the structure.
+	readMu  sync.Mutex
+	readEst core.IncrementalEstimator
 
 	// Owner-goroutine state: only the loop goroutine may touch these.
 	db         *engine.DB
@@ -125,6 +135,10 @@ type Manager struct {
 	lastFinish map[int]float64     // query -> last predicted absolute finish time
 	queuedSet  map[int]bool        // queries last seen in the admission queue
 	schedSet   map[int]bool        // queries still waiting as future arrivals
+	// ownerEst is the owner goroutine's incremental stage structure, backing
+	// the per-tick estimate pass (afterTick → estimates) the same way readEst
+	// backs the poller cache.
+	ownerEst core.IncrementalEstimator
 }
 
 // New creates a manager over db and starts its owner goroutine.
@@ -278,7 +292,12 @@ func (m *Manager) read() (*Snapshot, error) {
 // computing it on the calling goroutine at most once per epoch across all
 // concurrent pollers.
 func (m *Manager) estimatesFor(snap *Snapshot) viewEstimates {
-	est, hit := m.cache.get(snap.Epoch, snap.estimates)
+	est, hit := m.cache.get(snap.Epoch, func() viewEstimates {
+		m.readMu.Lock()
+		defer m.readMu.Unlock()
+		out := m.readEst.Estimates(snap.estimateInput())
+		return viewEstimates{perQuery: out.PerQuery, quiescent: out.Quiescent}
+	})
 	if hit {
 		m.metrics.incCacheHit()
 	} else {
@@ -423,13 +442,25 @@ func (m *Manager) updateDepths() {
 }
 
 // estimates computes the estimate bundle for every admitted and queued query
-// from the current snapshot. Owner goroutine only.
+// from the live scheduler state, through the owner's incremental stage
+// structure — this runs once per tick (afterTick), so over a slowly changing
+// mix the per-tick cost is O(changed·log n) instead of a full re-sort. The
+// values are bit-identical to the stateless core.ComputeEstimates (and to the
+// legacy EstimateAll, which shares the same empty-queue fast path). Owner
+// goroutine only.
 func (m *Manager) estimates() map[int]core.Estimate {
 	speeds := make(map[int]float64)
 	for _, q := range m.srv.Running() {
 		speeds[q.ID] = q.ObservedSpeed()
 	}
-	return core.EstimateAll(m.srv.StateRunning(), m.srv.StateQueued(), m.srv.MPL(), m.srv.RateC(), speeds, m.cfg.Arrivals)
+	return m.ownerEst.Estimates(core.EstimateInput{
+		Running:  m.srv.StateRunning(),
+		Queued:   m.srv.StateQueued(),
+		MPL:      m.srv.MPL(),
+		RateC:    m.srv.RateC(),
+		Speeds:   speeds,
+		Arrivals: m.cfg.Arrivals,
+	}).PerQuery
 }
 
 // SubmitRequest describes one query submission.

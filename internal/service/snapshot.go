@@ -26,17 +26,26 @@ type Snapshot struct {
 	Arrivals  *core.ArrivalModel // immutable after New; shared, never written
 }
 
-// estimates derives the per-query estimate bundle and quiescent ETA from the
-// snapshot alone — a pure function, safe on any goroutine.
-func (s *Snapshot) estimates() viewEstimates {
-	out := core.ComputeEstimates(core.EstimateInput{
+// estimateInput converts the snapshot to the pure-value input of the §2.2–2.4
+// estimators.
+func (s *Snapshot) estimateInput() core.EstimateInput {
+	return core.EstimateInput{
 		Running:  s.Sched.StatesRunning(),
 		Queued:   s.Sched.StatesQueued(),
 		MPL:      s.Sched.MPL,
 		RateC:    s.Sched.RateC,
 		Speeds:   s.Sched.Speeds(),
 		Arrivals: s.Arrivals,
-	})
+	}
+}
+
+// estimates derives the per-query estimate bundle and quiescent ETA from the
+// snapshot alone — a pure function, safe on any goroutine. It is the stateless
+// oracle the incremental read path is tested against; the live read path goes
+// through Manager.estimatesFor, which maintains an incremental stage structure
+// across epochs and produces bit-identical results.
+func (s *Snapshot) estimates() viewEstimates {
+	out := core.ComputeEstimates(s.estimateInput())
 	return viewEstimates{perQuery: out.PerQuery, quiescent: out.Quiescent}
 }
 

@@ -33,7 +33,11 @@ import (
 //	I8  metrics consistency — counters never decrease, depth gauges match
 //	    the published snapshot, lifecycle counters match the terminated set;
 //	I9  event lifecycle ordering — no query finishes before it was admitted,
-//	    is admitted before it was submitted, or unblocks before it blocked.
+//	    is admitted before it was submitted, or unblocks before it blocked;
+//	I10 incremental-profile identity — a single incremental stage structure,
+//	    patched across every action of the run, materializes a profile
+//	    bit-identical (Order, StageDur, Finish) to core.ComputeProfile built
+//	    from scratch on the same published states.
 type checker struct {
 	m       *service.Manager
 	rateC   float64
@@ -59,6 +63,13 @@ type checker struct {
 	// assert exactChecked dominates, so I7 cannot silently go vacuous.
 	exactChecked int
 	exactVoided  int
+
+	// incProf is I10's long-lived incremental stage structure: one instance
+	// survives the whole run, patched (never rebuilt) at every check, so the
+	// invariant exercises the structure's event path rather than a fresh
+	// build. incOut is its reused materialization target.
+	incProf *core.IncrementalProfile
+	incOut  core.Profile
 
 	violations []string
 }
@@ -94,6 +105,7 @@ func newChecker(m *service.Manager, cfg Config) *checker {
 		predSlack: make(map[int]float64),
 		prevRun:   make(map[int]bool),
 		seen:      make(map[int]map[string]bool),
+		incProf:   core.NewIncrementalProfile(),
 	}
 }
 
@@ -289,6 +301,46 @@ func (c *checker) checkEstimates(tr *strings.Builder, ctx checkCtx, ov *service.
 	if !sameFloat(float64(ov.QuiescentETA), want.Quiescent) {
 		c.fail(tr, ctx, "I6 quiescent ETA stale: view %s, recomputed %s",
 			g(float64(ov.QuiescentETA)), g(want.Quiescent))
+	}
+
+	// I10: the run-long incremental profile, synced to the published running
+	// set, must materialize bit-for-bit what a from-scratch build produces.
+	c.checkIncremental(tr, ctx, running, ov.RateC)
+}
+
+// checkIncremental is invariant I10: patch the checker's long-lived
+// incremental stage structure to the published running set and demand its
+// materialized profile be bit-identical to core.ComputeProfile built from
+// scratch. Because the same structure persists across all of the run's
+// arrivals, finishes, blocks, priority flips, and cost refinements, any
+// divergence between the O(log n) patch path and the O(n log n) oracle
+// surfaces at the first action that breaks it.
+func (c *checker) checkIncremental(tr *strings.Builder, ctx checkCtx, running []core.QueryState, rateC float64) {
+	c.incProf.Sync(running)
+	c.incProf.ProfileInto(rateC, &c.incOut)
+	want := core.ComputeProfile(running, rateC)
+	if len(c.incOut.Order) != len(want.Order) || len(c.incOut.Finish) != len(want.Finish) {
+		c.fail(tr, ctx, "I10 incremental profile shape: %d stages/%d finishes, want %d/%d",
+			len(c.incOut.Order), len(c.incOut.Finish), len(want.Order), len(want.Finish))
+		return
+	}
+	for i, id := range want.Order {
+		if c.incOut.Order[i] != id {
+			c.fail(tr, ctx, "I10 stage %d is q%d, want q%d", i, c.incOut.Order[i], id)
+			return
+		}
+		if math.Float64bits(c.incOut.StageDur[i]) != math.Float64bits(want.StageDur[i]) {
+			c.fail(tr, ctx, "I10 stage %d duration %s, want %s (bitwise)",
+				i, g(c.incOut.StageDur[i]), g(want.StageDur[i]))
+			return
+		}
+	}
+	for id, w := range want.Finish {
+		got, ok := c.incOut.Finish[id]
+		if !ok || (math.Float64bits(got) != math.Float64bits(w) && !(math.IsNaN(got) && math.IsNaN(w))) {
+			c.fail(tr, ctx, "I10 q%d finish %s, want %s (bitwise)", id, g(got), g(w))
+			return
+		}
 	}
 }
 
