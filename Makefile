@@ -33,7 +33,7 @@ serve:
 # clients). The service/sched/serve packages are named explicitly so a future
 # split of `race` cannot silently drop them from under the detector.
 ci: vet build race
-	$(GO) test -race ./internal/service/... ./internal/sched/... ./cmd/mqpi-serve/...
+	$(GO) test -race ./internal/service/... ./internal/sched/... ./internal/cluster/... ./cmd/mqpi-serve/...
 	# Three-phase tick determinism: the differential + stress suite must hold
 	# on one core and on several, since goroutine interleaving (and therefore
 	# any illegal cross-runner ordering dependence) differs between the two.
@@ -41,6 +41,12 @@ ci: vet build race
 	# second run would silently replay the first run's cached verdict.
 	GOMAXPROCS=1 $(GO) test -race -count=1 -run 'TestParallelTick|TestEventsDeterministicAcrossWorkers' ./internal/sched/ ./internal/service/
 	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestParallelTick|TestEventsDeterministicAcrossWorkers' ./internal/sched/ ./internal/service/
+	# Cluster-mode sim invariant matrix: the sharded tier's routing-level
+	# invariants (placement conservation, no lost work across aborts,
+	# admission accounting) and per-shard byte-identical determinism at
+	# workers 1/2/4 must hold on one core and on several.
+	GOMAXPROCS=1 $(GO) test -race -count=1 -run 'TestClusterSim' ./internal/sim/
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestClusterSim' ./internal/sim/
 	$(MAKE) cover-check
 	$(MAKE) bench-check
 	$(MAKE) fuzz-smoke

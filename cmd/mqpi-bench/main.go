@@ -36,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: dataset|mcq|naq|scq|scq-lambda|scq-traj|maint|stages|speedup|priority|robust|mpl|all")
+		exp      = flag.String("exp", "all", "experiment: dataset|mcq|naq|scq|scq-lambda|scq-traj|maint|stages|speedup|priority|robust|mpl|cluster|all")
 		seed     = flag.Int64("seed", 1, "random seed")
 		runs     = flag.Int("runs", 0, "runs per data point (0 = experiment default)")
 		rows     = flag.Int("lineitem", 0, "lineitem row count (0 = experiment default)")
@@ -269,6 +269,21 @@ func main() {
 		fmt.Fprintf(txt, "multi-PI improvement vs no-PI: %.3f, vs single-PI: %.3f, excess over limit: %.3f (t<tfinish averages)\n",
 			res.MultiVsNoPI, res.MultiVsSingle, res.MultiVsLimit)
 		return nil
+	})
+
+	step("cluster", func() error {
+		res, err := experiments.RunClusterSweep(experiments.ClusterSweepConfig{
+			Seed: *seed, Runs: *runs, Parallel: *parallel, Workers: *workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(txt, "== Serving tier: shard count x routing policy on a mixed Zipf workload ==")
+		if err := showFig("cluster-throughput", &res.FigThroughput); err != nil {
+			return err
+		}
+		fmt.Fprintln(txt)
+		return showFig("cluster-eta", &res.FigETA)
 	})
 
 	if ran == 0 {

@@ -22,9 +22,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"mqpi/internal/cluster"
 	"mqpi/internal/engine"
 	"mqpi/internal/sched"
 	"mqpi/internal/service"
@@ -43,6 +45,11 @@ type options struct {
 	execDeadline time.Duration
 	demo         bool
 	demoRows     int
+	shards       int
+	routing      string
+	admitRate    float64
+	admitBurst   float64
+	admitQueue   bool
 }
 
 func parseFlags(args []string) (options, error) {
@@ -59,40 +66,90 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&o.execDeadline, "exec-deadline", 2*time.Second, "max wait for /exec DDL/DML to reach the owner before 409 (0 = wait forever)")
 	fs.BoolVar(&o.demo, "demo", false, "preload the scaled-down Table 1 dataset (lineitem, part_1..3)")
 	fs.IntVar(&o.demoRows, "rows", 30000, "lineitem rows for -demo")
+	fs.IntVar(&o.shards, "shards", 1, "engine+scheduler shards behind the routing front door (1 = plain single-engine service)")
+	fs.StringVar(&o.routing, "routing", "round-robin", "shard placement policy: "+strings.Join(cluster.RoutingPolicies(), "|"))
+	fs.Float64Var(&o.admitRate, "admit-rate", 0, "token-bucket admission rate, queries per virtual second (0 = no admission control)")
+	fs.Float64Var(&o.admitBurst, "admit-burst", 0, "token-bucket burst capacity (0 = max(admit-rate, 1))")
+	fs.BoolVar(&o.admitQueue, "admit-queue", false, "queue over-rate submissions as delayed arrivals instead of rejecting with 429")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
 	if o.rateC <= 0 || o.quantum <= 0 || o.timeScale <= 0 || o.tickEvery <= 0 {
 		return o, errors.New("rate, quantum, timescale, and tick must be positive")
 	}
+	if o.shards < 1 {
+		return o, errors.New("shards must be at least 1")
+	}
+	if o.admitRate < 0 || o.admitBurst < 0 {
+		return o, errors.New("admit-rate and admit-burst must be non-negative")
+	}
+	if err := cluster.ValidRouting(o.routing); err != nil {
+		return o, err
+	}
 	return o, nil
 }
 
-// buildServer assembles the database (optionally preloaded), the session
-// manager, and the HTTP handler. It is the testable core of main.
-func buildServer(o options) (*service.Manager, http.Handler, error) {
-	var db *engine.DB
-	if o.demo {
-		ds, err := workload.BuildDataset(workload.DataConfig{LineitemRows: o.demoRows, Seed: 1})
-		if err != nil {
-			return nil, nil, fmt.Errorf("demo dataset: %w", err)
-		}
-		for i, n := range []int{50, 10, 20} {
-			if err := ds.CreatePartTable(i+1, n); err != nil {
-				return nil, nil, fmt.Errorf("demo dataset: %w", err)
-			}
-		}
-		db = ds.DB
-	} else {
-		db = engine.Open()
+// openDemo builds one engine, optionally preloaded with the demo dataset.
+// Cluster shards call it once each; the fixed seed keeps replicas identical.
+func openDemo(o options) (*engine.DB, error) {
+	if !o.demo {
+		return engine.Open(), nil
 	}
-	m := service.New(db, service.Config{
+	ds, err := workload.BuildDataset(workload.DataConfig{LineitemRows: o.demoRows, Seed: 1})
+	if err != nil {
+		return nil, fmt.Errorf("demo dataset: %w", err)
+	}
+	for i, n := range []int{50, 10, 20} {
+		if err := ds.CreatePartTable(i+1, n); err != nil {
+			return nil, fmt.Errorf("demo dataset: %w", err)
+		}
+	}
+	return ds.DB, nil
+}
+
+// buildServer assembles the serving tier and its HTTP handler: a plain
+// single-engine service by default, or the sharded cluster front door when
+// -shards or -admit-rate ask for one. It is the testable core of main.
+func buildServer(o options) (interface{ Close() }, http.Handler, error) {
+	svcCfg := service.Config{
 		Sched:        sched.Config{RateC: o.rateC, MPL: o.mpl, Quantum: o.quantum, Workers: o.workers},
 		TickEvery:    o.tickEvery,
 		TimeScale:    o.timeScale,
 		EventCap:     o.eventCap,
 		ExecDeadline: o.execDeadline,
-	})
+	}
+	if o.shards > 1 || o.admitRate > 0 {
+		var dbErr error
+		c, err := cluster.New(cluster.Config{
+			Shards:     o.shards,
+			Routing:    o.routing,
+			AdmitRate:  o.admitRate,
+			AdmitBurst: o.admitBurst,
+			AdmitQueue: o.admitQueue,
+			Service:    svcCfg,
+			OpenDB: func() *engine.DB {
+				db, err := openDemo(o)
+				if err != nil {
+					dbErr = err
+					return engine.Open()
+				}
+				return db
+			},
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if dbErr != nil {
+			c.Close()
+			return nil, nil, dbErr
+		}
+		return c, cluster.NewHandler(c), nil
+	}
+	db, err := openDemo(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := service.New(db, svcCfg)
 	return m, service.NewHandler(m), nil
 }
 
@@ -110,8 +167,8 @@ func run(args []string) error {
 	srv := &http.Server{Addr: o.addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("mqpi-serve listening on %s (C=%g U/s, quantum=%gs, timescale=%g, workers=%d, demo=%v)",
-		o.addr, o.rateC, o.quantum, o.timeScale, o.workers, o.demo)
+	log.Printf("mqpi-serve listening on %s (C=%g U/s, quantum=%gs, timescale=%g, workers=%d, shards=%d, routing=%s, admit-rate=%g, demo=%v)",
+		o.addr, o.rateC, o.quantum, o.timeScale, o.workers, o.shards, o.routing, o.admitRate, o.demo)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

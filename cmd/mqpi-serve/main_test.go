@@ -139,9 +139,147 @@ func TestParseFlagsRejectsBadValues(t *testing.T) {
 		{"-quantum", "-1"},
 		{"-timescale", "0"},
 		{"-tick", "0s"},
+		{"-shards", "0"},
+		{"-routing", "random"},
+		{"-admit-rate", "-1"},
+		{"-admit-burst", "-2"},
 	} {
 		if _, err := parseFlags(args); err == nil {
 			t.Errorf("parseFlags(%v) accepted", args)
 		}
+	}
+}
+
+// TestServeClusterSession stands up the sharded wiring (-shards/-routing/
+// -admit-rate) and drives the front door: routed submissions, the merged
+// /overview with per-shard epochs, and a 429 once the burst is spent.
+func TestServeClusterSession(t *testing.T) {
+	o, err := parseFlags([]string{
+		"-demo", "-rows", "15000", "-rate", "50",
+		"-timescale", "200", "-tick", "2ms", "-quantum", "0.25",
+		// The refill rate is sub-microscopic on purpose: at -timescale 200
+		// the live bucket refills rate*200 tokens per wall second, and the
+		// 429 assertion below must not race a refill.
+		"-shards", "2", "-routing", "least-loaded", "-admit-rate", "1e-9", "-admit-burst", "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, handler, err := buildServer(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	ids := make([]int, 0, 3)
+	for i := 1; i <= 3; i++ {
+		sql := fmt.Sprintf(
+			"select * from part_%d p where p.retailprice*0.75 > "+
+				"(select sum(l.extendedprice)/sum(l.quantity) from lineitem l where l.partkey = p.partkey)", i)
+		payload, _ := json.Marshal(map[string]any{"sql": sql, "label": fmt.Sprintf("Q%d", i), "session": "demo"})
+		resp, err := http.Post(ts.URL+"/queries", "application/json", strings.NewReader(string(payload)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("submit Q%d: %d %s", i, resp.StatusCode, b)
+		}
+		var v struct {
+			ID int `json:"id"`
+		}
+		if err := json.Unmarshal(b, &v); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+
+	// The burst is 3: a fourth submission must bounce with 429.
+	resp, err := http.Post(ts.URL+"/queries", "application/json",
+		strings.NewReader(`{"sql":"select count(*) from part_1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("burst+1 submit: %d %s", resp.StatusCode, b)
+	}
+
+	type overview struct {
+		Shards []struct {
+			Epoch uint64  `json:"epoch"`
+			Now   float64 `json:"now"`
+		} `json:"shards"`
+		Finished []json.RawMessage `json:"finished"`
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	var ov overview
+	for {
+		resp, err := http.Get(ts.URL + "/overview")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(b, &ov); err != nil {
+			t.Fatalf("overview: %v in %s", err, b)
+		}
+		if len(ov.Finished) == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queries did not finish; overview: %s", b)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(ov.Shards) != 2 {
+		t.Fatalf("%d shard summaries, want 2", len(ov.Shards))
+	}
+	for i, s := range ov.Shards {
+		if s.Epoch == 0 {
+			t.Errorf("shard %d epoch not exposed", i)
+		}
+	}
+	for _, id := range ids {
+		resp, err := http.Get(fmt.Sprintf("%s/queries/%d", ts.URL, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var v struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(b, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Status != "finished" {
+			t.Errorf("query %d: %s", id, b)
+		}
+	}
+
+	// Cluster metrics and shard passthrough.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), "mqpi_cluster_routed_total") ||
+		!strings.Contains(string(b), "mqpi_cluster_admission_rejected_total 1") {
+		t.Errorf("cluster metrics:\n%s", b)
+	}
+	resp, err = http.Get(ts.URL + "/shards/0/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), "mqpi_queries_submitted_total") {
+		t.Errorf("shard passthrough metrics:\n%s", b)
 	}
 }

@@ -1,0 +1,376 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"mqpi/internal/engine"
+	"mqpi/internal/engine/types"
+	"mqpi/internal/sched"
+	"mqpi/internal/service"
+)
+
+// openWith returns an OpenDB factory that pre-loads `pages` heap pages (64
+// rows each) into table t1 on every shard, so replicas start identical.
+func openWith(t testing.TB, pages int) func() *engine.DB {
+	t.Helper()
+	return func() *engine.DB {
+		db := engine.Open()
+		if _, err := db.Exec("CREATE TABLE t1 (a BIGINT)"); err != nil {
+			t.Fatal(err)
+		}
+		cat := db.Catalog()
+		for i := 0; i < pages*64; i++ {
+			if err := cat.Insert("t1", types.Row{types.NewInt(int64(i))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return db
+	}
+}
+
+// manualCluster builds a manual-clock cluster (virtual time only moves
+// through Advance) over pre-loaded shards.
+func manualCluster(t testing.TB, cfg Config, pages int) *Cluster {
+	t.Helper()
+	cfg.Service.TickEvery = -1
+	if cfg.Service.Sched.RateC == 0 {
+		cfg.Service.Sched = sched.Config{RateC: 10, Quantum: 0.5}
+	}
+	cfg.OpenDB = openWith(t, pages)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func submit(t testing.TB, c *Cluster, label string) service.QueryView {
+	t.Helper()
+	v, err := c.Submit(SubmitRequest{SubmitRequest: service.SubmitRequest{
+		Label: label, SQL: "SELECT SUM(a) FROM t1",
+	}})
+	if err != nil {
+		t.Fatalf("submit %s: %v", label, err)
+	}
+	return v
+}
+
+func TestGIDBijection(t *testing.T) {
+	c := manualCluster(t, Config{Shards: 3}, 1)
+	seen := map[int]bool{}
+	for shard := 0; shard < 3; shard++ {
+		for local := 1; local <= 5; local++ {
+			g := c.gid(shard, local)
+			if g <= 0 || seen[g] {
+				t.Fatalf("gid(%d,%d) = %d collides", shard, local, g)
+			}
+			seen[g] = true
+			s2, l2, err := c.locate(g)
+			if err != nil || s2 != shard || l2 != local {
+				t.Fatalf("locate(%d) = (%d,%d,%v), want (%d,%d)", g, s2, l2, err, shard, local)
+			}
+		}
+	}
+	if _, _, err := c.locate(0); err == nil {
+		t.Fatal("locate(0) accepted")
+	}
+	if _, _, err := c.locate(-7); err == nil {
+		t.Fatal("locate(-7) accepted")
+	}
+}
+
+func TestRoundRobinSpreads(t *testing.T) {
+	c := manualCluster(t, Config{Shards: 3, Routing: "round-robin"}, 2)
+	for i := 0; i < 9; i++ {
+		submit(t, c, fmt.Sprintf("q%d", i))
+	}
+	for i, n := range c.Metrics().RoutedCounts() {
+		if n != 3 {
+			t.Errorf("shard %d routed %d, want 3", i, n)
+		}
+	}
+}
+
+// TestLeastLoadedBalances pins the live-load probe: after shard 0 absorbs
+// work, the next submission must go elsewhere.
+func TestLeastLoadedBalances(t *testing.T) {
+	c := manualCluster(t, Config{Shards: 2, Routing: "least-loaded"}, 5)
+	v0 := submit(t, c, "first") // all empty: tie-break to shard 0
+	if s, _, _ := c.locate(v0.ID); s != 0 {
+		t.Fatalf("first query on shard %d, want 0", s)
+	}
+	v1 := submit(t, c, "second") // shard 0 now owes ~6 U
+	if s, _, _ := c.locate(v1.ID); s != 1 {
+		t.Fatalf("second query on shard %d, want 1", s)
+	}
+}
+
+// TestLeastLoadedSaturated: with every shard equally saturated the policy
+// must still place deterministically (lowest index), not loop or panic.
+func TestLeastLoadedSaturated(t *testing.T) {
+	c := manualCluster(t, Config{Shards: 3, Routing: "least-loaded"}, 5)
+	// Saturate all shards identically via round-robin-by-hand.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			submit(t, c, fmt.Sprintf("fill-%d-%d", i, j))
+		}
+	}
+	loads := c.Loads()
+	for i := 1; i < 3; i++ {
+		if math.Abs(loads[i].RemainingU-loads[0].RemainingU) > 1e-9 {
+			t.Fatalf("shards unevenly loaded: %+v", loads)
+		}
+	}
+	v := submit(t, c, "tiebreak")
+	if s, _, _ := c.locate(v.ID); s != 0 {
+		t.Errorf("saturated tie broke to shard %d, want 0", s)
+	}
+}
+
+// TestSingleShardDegenerate: a 1-shard cluster must behave exactly like the
+// plain service — identity gid mapping, every policy valid.
+func TestSingleShardDegenerate(t *testing.T) {
+	for _, policy := range RoutingPolicies() {
+		t.Run(policy, func(t *testing.T) {
+			c := manualCluster(t, Config{Shards: 1, Routing: policy}, 2)
+			v := submit(t, c, "only")
+			if v.ID != 1 {
+				t.Fatalf("gid = %d, want 1 (identity on 1 shard)", v.ID)
+			}
+			if err := c.Advance(60); err != nil {
+				t.Fatal(err)
+			}
+			p, err := c.Progress(v.ID)
+			if err != nil || p.Status != "finished" {
+				t.Fatalf("progress = %+v, %v", p, err)
+			}
+			evs, err := c.Events(v.ID)
+			if err != nil || len(evs) == 0 {
+				t.Fatalf("events = %v, %v", evs, err)
+			}
+		})
+	}
+}
+
+// TestAffinityStickyAcrossAborts: the affinity mapping is a pure function of
+// the session key — aborting a session's queries must not move it.
+func TestAffinityStickyAcrossAborts(t *testing.T) {
+	c := manualCluster(t, Config{Shards: 4, Routing: "affinity"}, 2)
+	sessions := []string{"alice", "bob", "carol", "dave", "erin"}
+	home := map[string]int{}
+	var aborted []int
+	for _, s := range sessions {
+		v, err := c.Submit(SubmitRequest{
+			SubmitRequest: service.SubmitRequest{SQL: "SELECT SUM(a) FROM t1"},
+			Session:       s,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shard, _, _ := c.locate(v.ID)
+		home[s] = shard
+		aborted = append(aborted, v.ID)
+	}
+	for _, id := range aborted {
+		if err := c.Abort(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range sessions {
+		v, err := c.Submit(SubmitRequest{
+			SubmitRequest: service.SubmitRequest{SQL: "SELECT SUM(a) FROM t1"},
+			Session:       s,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shard, _, _ := c.locate(v.ID); shard != home[s] {
+			t.Errorf("session %s moved shard %d -> %d after aborts", s, home[s], shard)
+		}
+	}
+}
+
+// TestAffinityKeyFallback: without a session the key falls back to the
+// label, then to the SQL text, so template affinity works out of the box.
+func TestAffinityKeyFallback(t *testing.T) {
+	c := manualCluster(t, Config{Shards: 4, Routing: "affinity"}, 1)
+	byLabel1 := submit(t, c, "report-7")
+	byLabel2 := submit(t, c, "report-7")
+	s1, _, _ := c.locate(byLabel1.ID)
+	s2, _, _ := c.locate(byLabel2.ID)
+	if s1 != s2 {
+		t.Errorf("same label split across shards %d and %d", s1, s2)
+	}
+	sql1, _ := c.Submit(SubmitRequest{SubmitRequest: service.SubmitRequest{SQL: "SELECT SUM(a) FROM t1"}})
+	sql2, _ := c.Submit(SubmitRequest{SubmitRequest: service.SubmitRequest{SQL: "SELECT SUM(a) FROM t1"}})
+	s1, _, _ = c.locate(sql1.ID)
+	s2, _, _ = c.locate(sql2.ID)
+	if s1 != s2 {
+		t.Errorf("same SQL split across shards %d and %d", s1, s2)
+	}
+}
+
+func TestUnknownPolicy(t *testing.T) {
+	if _, err := New(Config{Routing: "random"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// TestExecBroadcast: DDL/DML must reach every replica; a query routed to any
+// shard then sees the same data.
+func TestExecBroadcast(t *testing.T) {
+	c := manualCluster(t, Config{Shards: 3, Routing: "round-robin"}, 0)
+	if _, err := c.Exec("CREATE TABLE b (a BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.Exec("INSERT INTO b VALUES (1),(2),(3)"); err != nil || n != 3 {
+		t.Fatalf("insert = %d, %v", n, err)
+	}
+	// One query per shard via round-robin: all must finish with the data.
+	var ids []int
+	for i := 0; i < 3; i++ {
+		v, err := c.Submit(SubmitRequest{SubmitRequest: service.SubmitRequest{SQL: "SELECT SUM(a) FROM b"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	if err := c.Advance(60); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		p, err := c.Progress(id)
+		if err != nil || p.Status != "finished" {
+			t.Fatalf("query %d = %+v, %v", id, p, err)
+		}
+	}
+	if got := c.Metrics().Text(); got == "" {
+		t.Fatal("empty metrics text")
+	}
+}
+
+// TestOverviewMerge: the global view must union all shards with global IDs,
+// expose per-shard epochs, and count conservation: every admitted query
+// appears in exactly one shard section.
+func TestOverviewMerge(t *testing.T) {
+	c := manualCluster(t, Config{Shards: 3, Routing: "round-robin"}, 3)
+	var ids []int
+	for i := 0; i < 7; i++ {
+		ids = append(ids, submit(t, c, fmt.Sprintf("q%d", i)).ID)
+	}
+	if err := c.Advance(1); err != nil {
+		t.Fatal(err)
+	}
+	ov, err := c.Overview()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ov.Shards) != 3 {
+		t.Fatalf("%d shard summaries, want 3", len(ov.Shards))
+	}
+	for i, s := range ov.Shards {
+		if s.Shard != i || s.Epoch == 0 {
+			t.Errorf("shard summary %d = %+v", i, s)
+		}
+	}
+	seen := map[int]int{}
+	for _, v := range ov.Running {
+		seen[v.ID]++
+	}
+	for _, v := range ov.Queued {
+		seen[v.ID]++
+	}
+	for _, v := range ov.Finished {
+		seen[v.ID]++
+	}
+	for _, id := range ids {
+		if seen[id] != 1 {
+			t.Errorf("query %d appears %d times in global view, want exactly 1", id, seen[id])
+		}
+	}
+	for i := 1; i < len(ov.Running); i++ {
+		if ov.Running[i].ID <= ov.Running[i-1].ID {
+			t.Errorf("running not sorted by gid: %d after %d", ov.Running[i].ID, ov.Running[i-1].ID)
+		}
+	}
+}
+
+// TestOpsRouteByGID: block/unblock/priority/abort must reach the owning
+// shard, and unknown gids must say not-found rather than mis-route.
+func TestOpsRouteByGID(t *testing.T) {
+	c := manualCluster(t, Config{Shards: 2, Routing: "round-robin"}, 3)
+	a, b := submit(t, c, "a"), submit(t, c, "b")
+	if err := c.Block(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetPriority(a.ID, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unblock(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Abort(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Progress(a.ID)
+	if err != nil || p.Status != "aborted" {
+		t.Fatalf("aborted query = %+v, %v", p, err)
+	}
+	if err := c.Block(999); err == nil {
+		t.Fatal("block of unknown gid succeeded")
+	}
+	if _, err := c.Events(0); err == nil {
+		t.Fatal("multi-shard Events(0) should require an explicit id")
+	}
+}
+
+// TestAdmissionBurstBoundary: a bucket with capacity B admits exactly B
+// back-to-back submissions and rejects the B+1st — the boundary is exact,
+// not off by one.
+func TestAdmissionBurstBoundary(t *testing.T) {
+	c := manualCluster(t, Config{Shards: 1, AdmitRate: 1, AdmitBurst: 3}, 2)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Submit(SubmitRequest{SubmitRequest: service.SubmitRequest{SQL: "SELECT SUM(a) FROM t1"}}); err != nil {
+			t.Fatalf("submission %d within burst rejected: %v", i+1, err)
+		}
+	}
+	_, err := c.Submit(SubmitRequest{SubmitRequest: service.SubmitRequest{SQL: "SELECT SUM(a) FROM t1"}})
+	if err == nil || c.Metrics().Rejected() != 1 {
+		t.Fatalf("burst+1 submission: err=%v rejected=%d", err, c.Metrics().Rejected())
+	}
+	// One virtual second refills one token.
+	if err := c.Advance(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(SubmitRequest{SubmitRequest: service.SubmitRequest{SQL: "SELECT SUM(a) FROM t1"}}); err != nil {
+		t.Fatalf("post-refill submission rejected: %v", err)
+	}
+}
+
+// TestAdmissionQueueMode: with AdmitQueue the B+1st submission is admitted
+// as a scheduled arrival whose delay equals the token wait.
+func TestAdmissionQueueMode(t *testing.T) {
+	c := manualCluster(t, Config{Shards: 1, AdmitRate: 2, AdmitBurst: 1, AdmitQueue: true}, 2)
+	v1, err := c.Submit(SubmitRequest{SubmitRequest: service.SubmitRequest{SQL: "SELECT SUM(a) FROM t1"}})
+	if err != nil || v1.Status != "running" {
+		t.Fatalf("first = %+v, %v", v1, err)
+	}
+	// Bucket empty: the next borrows half a second (deficit 1 / rate 2).
+	v2, err := c.Submit(SubmitRequest{SubmitRequest: service.SubmitRequest{SQL: "SELECT SUM(a) FROM t1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Status != "scheduled" {
+		t.Fatalf("borrowed admission = %+v, want scheduled arrival", v2)
+	}
+	if err := c.Advance(1); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Progress(v2.ID)
+	if err != nil || p.Status == "scheduled" {
+		t.Fatalf("after refill: %+v, %v", p, err)
+	}
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mqpi/internal/cluster"
+	"mqpi/internal/engine"
+	"mqpi/internal/engine/types"
+	"mqpi/internal/metrics"
+	"mqpi/internal/sched"
+	"mqpi/internal/service"
+	"mqpi/internal/workload"
+)
+
+// ClusterSweepConfig configures the serving-tier experiment: a heavy mixed
+// Zipf workload (query costs drawn from a Zipf over geometrically sized
+// tables, staggered arrivals, session churn) replayed against every shard
+// count × routing policy cell. Two questions: how does throughput scale with
+// shards under each placement policy, and what does sharding do to the
+// quality of the time-0 multi-query ETA (each shard only models its own
+// queries, so bad placement shows up as estimate error, not just latency).
+type ClusterSweepConfig struct {
+	Seed       int64
+	Runs       int      // per cell; default 3
+	NumQueries int      // per run; default 24
+	Shards     []int    // default 1, 2, 4, 8
+	Policies   []string // default all three routing policies
+	ZipfA      float64  // table-size skew; default 1.1
+	RateC      float64  // per-shard processing rate; default 10
+	Quantum    float64  // default 0.5
+	MPL        int      // per-shard admission limit; default 3
+	Workers    int      // per-shard execute workers; results identical at any setting
+	// Parallel caps worker goroutines across independent cells (0 =
+	// GOMAXPROCS, 1 = sequential). Output is identical at every setting.
+	Parallel int
+}
+
+func (c ClusterSweepConfig) withDefaults() ClusterSweepConfig {
+	if c.Runs <= 0 {
+		c.Runs = 3
+	}
+	if c.NumQueries <= 0 {
+		c.NumQueries = 24
+	}
+	if len(c.Shards) == 0 {
+		c.Shards = []int{1, 2, 4, 8}
+	}
+	if len(c.Policies) == 0 {
+		c.Policies = cluster.RoutingPolicies()
+	}
+	if c.ZipfA <= 0 {
+		c.ZipfA = 1.1
+	}
+	if c.RateC <= 0 {
+		c.RateC = 10
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 0.5
+	}
+	if c.MPL <= 0 {
+		c.MPL = 3
+	}
+	return c
+}
+
+// ClusterSweepResult carries the two figures: throughput vs shard count and
+// mean time-0 ETA error vs shard count, one series per routing policy.
+type ClusterSweepResult struct {
+	FigThroughput metrics.Figure
+	FigETA        metrics.Figure
+}
+
+// clusterTables is the size ladder: table zK holds 64·2^K rows, so a Zipf
+// sample over table indexes yields a heavy-tailed cost mix (most queries
+// small, a few 32× larger).
+const clusterTables = 6
+
+// clusterSweepDB builds one shard's replica: the ladder tables, identical on
+// every shard because the builder reseeds its own rng per call.
+func clusterSweepDB(seed int64) (*engine.DB, error) {
+	rng := rand.New(rand.NewSource(seed ^ 0x7ab1e))
+	db := engine.Open()
+	for k := 0; k < clusterTables; k++ {
+		name := fmt.Sprintf("z%d", k)
+		if _, err := db.Exec(fmt.Sprintf("CREATE TABLE %s (a BIGINT, v DOUBLE)", name)); err != nil {
+			return nil, err
+		}
+		cat := db.Catalog()
+		for i := 0; i < 64<<k; i++ {
+			if err := cat.Insert(name, types.Row{
+				types.NewInt(int64(i % 101)), types.NewFloat(rng.Float64() * 100),
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := db.Analyze(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// RunClusterSweep replays the workload for every (policy, shards, run) cell
+// and aggregates throughput (finished queries per virtual second of
+// makespan) and the mean relative error of each query's time-0 multi-query
+// ETA against its actual response time.
+func RunClusterSweep(cfg ClusterSweepConfig) (*ClusterSweepResult, error) {
+	cfg = cfg.withDefaults()
+	zipf, err := workload.NewZipf(cfg.ZipfA, clusterTables)
+	if err != nil {
+		return nil, err
+	}
+	res := &ClusterSweepResult{
+		FigThroughput: metrics.Figure{
+			Title:  "Serving tier: throughput vs shard count per routing policy",
+			XLabel: "shards",
+			YLabel: "queries per virtual second",
+		},
+		FigETA: metrics.Figure{
+			Title:  "Serving tier: mean time-0 multi-query ETA error vs shard count",
+			XLabel: "shards",
+			YLabel: "relative error (fraction)",
+		},
+	}
+
+	type cell struct {
+		throughput float64
+		errs       []float64
+	}
+	nCells := len(cfg.Policies) * len(cfg.Shards) * cfg.Runs
+	cells, err := runIndexed(cfg.Parallel, nCells, func(j int) (cell, error) {
+		pi := j / (len(cfg.Shards) * cfg.Runs)
+		si := (j / cfg.Runs) % len(cfg.Shards)
+		r := j % cfg.Runs
+		policy, shards := cfg.Policies[pi], cfg.Shards[si]
+		off := int64(pi)*104729 + int64(si)*6977 + int64(r)*7919
+		dbSeed := datasetSeed(cfg.Seed, off)
+		rng := rand.New(rand.NewSource(cfg.Seed + off))
+
+		var dbErr error
+		c, err := cluster.New(cluster.Config{
+			Shards:  shards,
+			Routing: policy,
+			Service: service.Config{
+				Sched: sched.Config{
+					RateC: cfg.RateC, MPL: cfg.MPL, Quantum: cfg.Quantum, Workers: cfg.Workers,
+				},
+				TickEvery: -1,
+			},
+			OpenDB: func() *engine.DB {
+				db, err := clusterSweepDB(dbSeed)
+				if err != nil {
+					dbErr = err
+					return engine.Open()
+				}
+				return db
+			},
+		})
+		if err != nil {
+			return cell{}, err
+		}
+		defer c.Close()
+		if dbErr != nil {
+			return cell{}, dbErr
+		}
+
+		// Staggered Zipf workload: heavy mix of table sizes, sessions from a
+		// small pool so affinity has real collisions, a short random gap
+		// before each arrival.
+		eta0 := make(map[int]float64, cfg.NumQueries)
+		clock := 0.0
+		for i := 0; i < cfg.NumQueries; i++ {
+			gap := cfg.Quantum * float64(rng.Intn(3))
+			if gap > 0 {
+				if err := c.Advance(gap); err != nil {
+					return cell{}, err
+				}
+				clock += gap
+			}
+			table := zipf.Sample(rng) - 1
+			view, err := c.Submit(cluster.SubmitRequest{
+				SubmitRequest: service.SubmitRequest{
+					Label:    fmt.Sprintf("q%d", i+1),
+					SQL:      fmt.Sprintf("select sum(v) from z%d", table),
+					Priority: rng.Intn(3),
+				},
+				Session: fmt.Sprintf("session-%d", rng.Intn(4)),
+			})
+			if err != nil {
+				return cell{}, err
+			}
+			if eta := float64(view.MultiETA); !math.IsNaN(eta) && !math.IsInf(eta, 0) && eta > 0 {
+				eta0[view.ID] = eta
+			}
+		}
+
+		// Drain to quiescence; the makespan is the virtual time consumed.
+		for i := 0; i < 10000; i++ {
+			ov, err := c.Overview()
+			if err != nil {
+				return cell{}, err
+			}
+			done := len(ov.Running) == 0 && len(ov.Queued) == 0 && len(ov.Scheduled) == 0
+			if done {
+				break
+			}
+			if err := c.Advance(cfg.Quantum); err != nil {
+				return cell{}, err
+			}
+			clock += cfg.Quantum
+		}
+
+		ov, err := c.Overview()
+		if err != nil {
+			return cell{}, err
+		}
+		if len(ov.Finished) != cfg.NumQueries {
+			return cell{}, fmt.Errorf("experiments: cluster cell %s/%d finished %d of %d queries",
+				policy, shards, len(ov.Finished), cfg.NumQueries)
+		}
+		out := cell{throughput: float64(cfg.NumQueries) / clock}
+		for _, v := range ov.Finished {
+			if v.Status != "finished" {
+				return cell{}, fmt.Errorf("experiments: query %d ended %s: %s", v.ID, v.Status, v.Err)
+			}
+			// Both timestamps are in the owning shard's virtual clock (which
+			// freezes while that shard idles), so the response time is
+			// consistent with the shard-local ETA taken at submission.
+			if eta, ok := eta0[v.ID]; ok {
+				if actual := v.FinishTime - v.SubmitTime; actual > 0 {
+					out.errs = append(out.errs, metrics.RelErr(eta, actual))
+				}
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for pi, policy := range cfg.Policies {
+		sT := res.FigThroughput.AddSeries(policy)
+		sE := res.FigETA.AddSeries(policy)
+		for si, shards := range cfg.Shards {
+			var tps, errs []float64
+			for r := 0; r < cfg.Runs; r++ {
+				c := cells[pi*len(cfg.Shards)*cfg.Runs+si*cfg.Runs+r]
+				tps = append(tps, c.throughput)
+				errs = append(errs, c.errs...)
+			}
+			sT.Add(float64(shards), metrics.Mean(tps))
+			sE.Add(float64(shards), metrics.Mean(errs))
+		}
+	}
+	return res, nil
+}

@@ -831,6 +831,25 @@ func (s *Snapshot) StatesQueued() []core.QueryState {
 	return infoStates(s.Queued)
 }
 
+// LoadStats summarizes the snapshot as a routing load signal: how many
+// queries hold MPL slots (running + blocked), how many wait in the admission
+// queue, and the total refined remaining cost across admitted, queued, and
+// scheduled queries in U's. Scheduled arrivals count toward the remaining
+// work — a shard that has absorbed delayed admissions owes that work even
+// though nothing runs yet — but not toward either depth figure.
+func (s *Snapshot) LoadStats() (admitted, queued int, remainingU float64) {
+	for _, q := range s.Running {
+		remainingU += q.Remaining
+	}
+	for _, q := range s.Queued {
+		remainingU += q.Remaining
+	}
+	for _, q := range s.Scheduled {
+		remainingU += q.Remaining
+	}
+	return len(s.Running), len(s.Queued), remainingU
+}
+
 // Speeds returns the observed execution speed of every admitted query, the
 // s in the single-query PI's t = c/s.
 func (s *Snapshot) Speeds() map[int]float64 {

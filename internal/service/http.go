@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -117,11 +118,10 @@ func NewHandler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("GET /diagram", func(w http.ResponseWriter, r *http.Request) {
-		width := 60
-		if s := r.URL.Query().Get("width"); s != "" {
-			if n, err := strconv.Atoi(s); err == nil && n > 0 && n <= 400 {
-				width = n
-			}
+		width, err := queryInt(r, "width", 60, 1, 400)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
 		}
 		text, err := m.Diagram(width)
 		if err != nil {
@@ -138,12 +138,10 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, http.StatusBadRequest, errors.New("missing or invalid target"))
 			return
 		}
-		h := 1
-		if s := r.URL.Query().Get("victims"); s != "" {
-			if h, err = strconv.Atoi(s); err != nil {
-				writeError(w, http.StatusBadRequest, errors.New("invalid victims"))
-				return
-			}
+		h, err := queryInt(r, "victims", 1, 1, 1<<20)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
 		}
 		victims, err := m.SpeedUpSingle(target, h)
 		if err != nil {
@@ -163,9 +161,9 @@ func NewHandler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("GET /plan/maintenance", func(w http.ResponseWriter, r *http.Request) {
-		deadline, err := strconv.ParseFloat(r.URL.Query().Get("deadline"), 64)
+		deadline, err := queryFloat(r, "deadline", 0)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, errors.New("missing or invalid deadline"))
+			writeError(w, http.StatusBadRequest, err)
 			return
 		}
 		mode := wm.Case2TotalCost
@@ -190,14 +188,10 @@ func NewHandler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
-		id := 0
-		if s := r.URL.Query().Get("id"); s != "" {
-			n, err := strconv.Atoi(s)
-			if err != nil {
-				writeError(w, http.StatusBadRequest, errors.New("invalid id"))
-				return
-			}
-			id = n
+		id, err := queryInt(r, "id", 0, 0, 1<<31-1)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"events": m.Events(id)})
 	})
@@ -249,6 +243,44 @@ func NewHandler(m *Manager) http.Handler {
 	})
 
 	return mux
+}
+
+// queryInt parses an optional integer query parameter. A missing parameter
+// yields def; anything unparsable or outside [min, max] is an error so the
+// handler answers 400 instead of silently substituting the default.
+func queryInt(r *http.Request, name string, def, min, max int) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("invalid %s %q", name, s)
+	}
+	if n < min || n > max {
+		return 0, fmt.Errorf("%s must be between %d and %d", name, min, max)
+	}
+	return n, nil
+}
+
+// queryFloat parses a required float query parameter, rejecting NaN and ±Inf
+// (which strconv.ParseFloat happily accepts) and values below min.
+func queryFloat(r *http.Request, name string, min float64) (float64, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return 0, fmt.Errorf("missing %s", name)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid %s %q", name, s)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("%s must be finite", name)
+	}
+	if v < min {
+		return 0, fmt.Errorf("%s must be >= %g", name, min)
+	}
+	return v, nil
 }
 
 func decodeJSON(r *http.Request, v any) error {

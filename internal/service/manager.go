@@ -84,6 +84,12 @@ type Config struct {
 	// estimate_revised event (default: one quantum). The metrics histogram
 	// observes every revision regardless.
 	RevisionEpsilon float64
+	// MaxTicksPerAdvance bounds how many scheduler ticks one advance may run
+	// (default 100000) — the backstop against a pathological TimeScale that
+	// would otherwise pin the owner goroutine in the tick loop. When the
+	// backstop fires the un-ticked virtual-time debt is carried into the next
+	// advance (and counted by mqpi_advance_backstop_total), never dropped.
+	MaxTicksPerAdvance int
 	// Arrivals optionally switches the multi-query estimates to the §2.4
 	// future-aware form.
 	Arrivals *core.ArrivalModel
@@ -98,6 +104,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EventCap <= 0 {
 		c.EventCap = 128
+	}
+	if c.MaxTicksPerAdvance <= 0 {
+		c.MaxTicksPerAdvance = 100000
 	}
 	return c
 }
@@ -315,10 +324,17 @@ func (m *Manager) advance(vsec float64) {
 	}
 	quantum := m.srv.Quantum()
 	m.debt += vsec
-	const maxTicksPerAdvance = 100000 // backstop against a pathological time scale
 	for i := 0; m.debt >= quantum-1e-12; i++ {
-		if !m.srv.Busy() || i >= maxTicksPerAdvance {
+		if !m.srv.Busy() {
+			// Idle server: the virtual clock freezes, so nothing is owed.
 			m.debt = 0
+			return
+		}
+		if i >= m.cfg.MaxTicksPerAdvance {
+			// Backstop against a pathological time scale: stop ticking now,
+			// but keep the residual debt so the clock catches up across
+			// subsequent advances instead of silently losing virtual time.
+			m.metrics.incAdvanceBackstop()
 			return
 		}
 		start := time.Now()
@@ -662,7 +678,10 @@ func (m *Manager) SetPriority(id, priority int) error {
 // steps), independent of the wall-clock ticker. Deterministic tests and
 // batch drivers use it; with TickEvery < 0 it is the only clock source.
 func (m *Manager) Advance(vsec float64) error {
-	if vsec <= 0 || math.IsNaN(vsec) || vsec > 1e9 {
+	// Non-finite values are rejected explicitly: NaN slips through every
+	// ordinary comparison (each negated comparison admits it), and ±Inf would
+	// either freeze the loop or accrue unpayable debt.
+	if math.IsNaN(vsec) || math.IsInf(vsec, 0) || vsec <= 0 || vsec > 1e9 {
 		return fmt.Errorf("service: advance of %g seconds out of range", vsec)
 	}
 	return m.call(func() { m.advance(vsec) })
@@ -704,6 +723,12 @@ func (m *Manager) SpeedUpOthers() (wm.Victim, error) {
 // rest finish within deadline seconds. exact switches from the greedy
 // knapsack to the branch-and-bound optimum (n ≤ 25). A pure snapshot read.
 func (m *Manager) PlanMaintenance(deadline float64, mode wm.LostWorkMode, exact bool) (wm.MaintenancePlan, error) {
+	// A NaN deadline makes every knapsack comparison false and ±Inf turns the
+	// plan degenerate; both must be rejected here, not just at the HTTP layer,
+	// because library callers reach this method directly.
+	if math.IsNaN(deadline) || math.IsInf(deadline, 0) {
+		return wm.MaintenancePlan{}, fmt.Errorf("service: non-finite maintenance deadline %g", deadline)
+	}
 	snap, err := m.read()
 	if err != nil {
 		return wm.MaintenancePlan{}, err
@@ -713,6 +738,35 @@ func (m *Manager) PlanMaintenance(deadline float64, mode wm.LostWorkMode, exact 
 		return wm.PlanMaintenanceExact(states, snap.Sched.RateC, deadline, mode)
 	}
 	return wm.PlanMaintenance(states, snap.Sched.RateC, deadline, mode)
+}
+
+// Load is a point-in-time summary of this manager's outstanding work, read
+// lock-free from the published snapshot. The cluster router polls it on
+// every routing decision, so it deliberately computes no estimates — just
+// counts and the total refined remaining cost.
+type Load struct {
+	Epoch      uint64  // snapshot epoch the figures were read from
+	Now        float64 // shard-local virtual clock, seconds
+	Admitted   int     // running + blocked queries holding MPL slots
+	Queued     int     // admission-queue depth
+	Scheduled  int     // future arrivals not yet submitted
+	RemainingU float64 // refined remaining cost across admitted/queued/scheduled, in U's
+}
+
+// Load returns the current routing load signal. It is a pure snapshot read
+// (no owner-channel sends) and stays readable after Close, so a router never
+// stalls behind a busy or closing shard.
+func (m *Manager) Load() Load {
+	s := m.snap.Load()
+	admitted, queued, remaining := s.Sched.LoadStats()
+	return Load{
+		Epoch:      s.Epoch,
+		Now:        s.Sched.Now,
+		Admitted:   admitted,
+		Queued:     queued,
+		Scheduled:  len(s.Sched.Scheduled),
+		RemainingU: remaining,
+	}
 }
 
 // viewLocked builds the client view of one query. Owner goroutine only.

@@ -53,6 +53,8 @@ type Metrics struct {
 	cacheMisses   uint64 // polls that computed their epoch's estimates
 	execBusy      uint64 // Exec calls bounced with ErrBusy (deadline exceeded)
 
+	advanceBackstops uint64 // advances truncated by MaxTicksPerAdvance (debt carried)
+
 	tickRounds uint64 // cumulative allocate→execute→settle rounds across ticks
 	workers    int    // configured execute-phase worker count
 
@@ -92,6 +94,16 @@ func (m *Metrics) incOwnerRequest() { m.mu.Lock(); m.ownerRequests++; m.mu.Unloc
 func (m *Metrics) incCacheHit()     { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
 func (m *Metrics) incCacheMiss()    { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
 func (m *Metrics) incExecBusy()     { m.mu.Lock(); m.execBusy++; m.mu.Unlock() }
+
+func (m *Metrics) incAdvanceBackstop() { m.mu.Lock(); m.advanceBackstops++; m.mu.Unlock() }
+
+// advanceBackstopCount reports how many advances hit the tick backstop; the
+// regression test for the debt-carry fix reads it directly.
+func (m *Metrics) advanceBackstopCount() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.advanceBackstops
+}
 
 func (m *Metrics) setWorkers(n int) { m.mu.Lock(); m.workers = n; m.mu.Unlock() }
 
@@ -183,6 +195,7 @@ func (m *Metrics) Text() string {
 	writeScalar(&b, "mqpi_exec_workers", "gauge", "Execute-phase worker count (1 = inline serial stepping).", float64(m.workers))
 	writeScalar(&b, "mqpi_exec_deadline_busy_total", "counter", "Exec statements rejected with 409 because the owner was busy past the deadline.", float64(m.execBusy))
 	writeScalar(&b, "mqpi_tick_rounds_total", "counter", "Allocate/execute/settle rounds across all ticks (redistribution re-runs included).", float64(m.tickRounds))
+	writeScalar(&b, "mqpi_advance_backstop_total", "counter", "Advances truncated by MaxTicksPerAdvance; the residual virtual-time debt is carried into later advances.", float64(m.advanceBackstops))
 	if m.snapshotInfo != nil {
 		epoch, age := m.snapshotInfo()
 		writeScalar(&b, "mqpi_snapshot_epoch", "gauge", "Epoch of the published read-path snapshot.", float64(epoch))

@@ -1,0 +1,450 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"mqpi/internal/cluster"
+	"mqpi/internal/engine"
+	"mqpi/internal/engine/types"
+	"mqpi/internal/sched"
+	"mqpi/internal/service"
+)
+
+// ClusterConfig parameterizes one cluster-mode simulation: the same seeded
+// action-stream idea as Config, but driving a sharded cluster.Cluster front
+// door instead of a single manager. Each shard runs the full real stack; the
+// checker adds the router-level invariants on top (placement conservation,
+// gid uniqueness, no lost work across aborts, admission accounting).
+type ClusterConfig struct {
+	Seed    int64
+	Workers int // per-shard execute-phase workers; traces must not depend on it
+	Shards  int // default 3
+	Routing string
+	Steps   int     // default 48
+	MPL     int     // default 3
+	RateC   float64 // default 10
+	Quantum float64 // default 0.5
+	Rows    int     // per-shard scan-table cardinality (default 768)
+
+	// AdmitRate/AdmitBurst/AdmitQueue configure the token-bucket front door;
+	// the default rate 0 disables admission so every submission routes.
+	AdmitRate  float64
+	AdmitBurst float64
+	AdmitQueue bool
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Shards <= 0 {
+		c.Shards = 3
+	}
+	if c.Routing == "" {
+		c.Routing = "round-robin"
+	}
+	if c.Steps <= 0 {
+		c.Steps = 48
+	}
+	if c.MPL <= 0 {
+		c.MPL = 3
+	}
+	if c.RateC <= 0 {
+		c.RateC = 10
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 0.5
+	}
+	if c.Rows <= 0 {
+		c.Rows = 768
+	}
+	return c
+}
+
+// ClusterResult is the outcome of one cluster-mode run.
+type ClusterResult struct {
+	// Trace is canonical (no wall-clock values, no worker counts): the same
+	// seed must produce a byte-identical trace at every Workers setting.
+	Trace      string
+	Violations []string
+	Actions    int
+	// Submitted counts accepted submissions; Rejected counts 429s from the
+	// admission bucket; Aborted counts successful aborts.
+	Submitted, Rejected, Aborted int
+}
+
+// RunCluster executes one cluster simulation to completion.
+func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
+	cfg = cfg.withDefaults()
+	s, err := newClusterSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s.c.Close()
+	return s.run()
+}
+
+// clusterOpTable weights the cluster repertoire: submissions and advances
+// dominate, with enough aborts and session churn to stress the routing
+// invariants.
+var clusterOpTable = [16]opKind{
+	opSubmit, opSubmit, opSubmit, opSubmit, opSubmitDelayed,
+	opAdvance, opAdvance, opAdvance, opAdvance, opAdvance,
+	opBlock, opUnblock, opAbort, opAbort,
+	opSetPriority, opExec,
+}
+
+type clusterSim struct {
+	cfg ClusterConfig
+	c   *cluster.Cluster
+	src actionSource
+	tr  strings.Builder
+
+	actionN int
+	execN   int
+
+	submitted, rejected, aborted int
+	advancedTotal                float64
+	// live tracks every accepted gid and whether it has been seen terminal;
+	// conservation checks walk it after every action.
+	accepted   []int
+	lastEpochs []uint64
+	violations []string
+}
+
+// clusterDB builds one shard's replica dataset. Every shard must be
+// byte-identical, so the builder reseeds its own rng per call instead of
+// sharing a stream across shards.
+func clusterDB(seed int64, rows int) (*engine.DB, error) {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	db := engine.Open()
+	for _, stmt := range []string{
+		`CREATE TABLE t0 (k BIGINT, v DOUBLE)`,
+		`CREATE TABLE t1 (k BIGINT, v DOUBLE)`,
+	} {
+		if _, err := db.Exec(stmt); err != nil {
+			return nil, err
+		}
+	}
+	cat := db.Catalog()
+	for i := 0; i < rows; i++ {
+		if err := cat.Insert("t0", types.Row{types.NewInt(int64(i % keyRangeT0)), types.NewFloat(rng.Float64() * 100)}); err != nil {
+			return nil, err
+		}
+		if err := cat.Insert("t1", types.Row{types.NewInt(int64(i % keyRangeT1)), types.NewFloat(rng.Float64() * 100)}); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.Analyze(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func newClusterSim(cfg ClusterConfig) (*clusterSim, error) {
+	var dbErr error
+	c, err := cluster.New(cluster.Config{
+		Shards:     cfg.Shards,
+		Routing:    cfg.Routing,
+		AdmitRate:  cfg.AdmitRate,
+		AdmitBurst: cfg.AdmitBurst,
+		AdmitQueue: cfg.AdmitQueue,
+		Service: service.Config{
+			Sched: sched.Config{
+				RateC:   cfg.RateC,
+				MPL:     cfg.MPL,
+				Quantum: cfg.Quantum,
+				Workers: cfg.Workers,
+				Weights: map[int]float64{0: 1, 1: 2, 2: 4},
+			},
+			TickEvery: -1,
+			EventCap:  4096,
+		},
+		OpenDB: func() *engine.DB {
+			db, err := clusterDB(cfg.Seed, cfg.Rows)
+			if err != nil {
+				dbErr = err
+				return engine.Open()
+			}
+			return db
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if dbErr != nil {
+		c.Close()
+		return nil, dbErr
+	}
+	return &clusterSim{
+		cfg:        cfg,
+		c:          c,
+		src:        &rngSource{rng: rand.New(rand.NewSource(cfg.Seed)), left: cfg.Steps},
+		lastEpochs: make([]uint64, cfg.Shards),
+	}, nil
+}
+
+func (s *clusterSim) violate(format string, args ...any) {
+	s.violations = append(s.violations, fmt.Sprintf("a%03d: ", s.actionN)+fmt.Sprintf(format, args...))
+}
+
+func (s *clusterSim) run() (*ClusterResult, error) {
+	s.check()
+	for {
+		op, arg, ok := s.src.next()
+		if !ok || len(s.violations) > 0 {
+			break
+		}
+		s.actionN++
+		if err := s.apply(clusterOpTable[op&15], arg); err != nil {
+			return nil, fmt.Errorf("action %d: %w", s.actionN, err)
+		}
+		s.check()
+	}
+	// Drain so terminal conservation is checked over completed work too.
+	for i := 0; i < 64 && len(s.violations) == 0; i++ {
+		ov, err := s.c.Overview()
+		if err != nil {
+			return nil, err
+		}
+		busy := false
+		for _, q := range ov.Running {
+			if q.Status == "running" {
+				busy = true
+			}
+		}
+		if !busy && len(ov.Scheduled) == 0 {
+			break
+		}
+		s.actionN++
+		fmt.Fprintf(&s.tr, "a%03d drain advance %s\n", s.actionN, g(4*s.cfg.Quantum))
+		if err := s.c.Advance(4 * s.cfg.Quantum); err != nil {
+			return nil, err
+		}
+		s.advancedTotal += 4 * s.cfg.Quantum
+		s.check()
+	}
+	return &ClusterResult{
+		Trace:      s.tr.String(),
+		Violations: s.violations,
+		Actions:    s.actionN,
+		Submitted:  s.submitted,
+		Rejected:   s.rejected,
+		Aborted:    s.aborted,
+	}, nil
+}
+
+// sessionPool is small on purpose: sessions must collide across submissions
+// so affinity routing actually groups work (and abort churn hits live keys).
+const sessionPool = 6
+
+func (s *clusterSim) apply(kind opKind, arg byte) error {
+	switch kind {
+	case opSubmit, opSubmitDelayed:
+		req := cluster.SubmitRequest{
+			SubmitRequest: service.SubmitRequest{
+				Label:    fmt.Sprintf("q%d", s.submitted+s.rejected+1),
+				SQL:      s.clusterSQL(arg),
+				Priority: int(arg) % 3,
+			},
+			Session: fmt.Sprintf("session-%d", int(arg>>2)%sessionPool),
+		}
+		if kind == opSubmitDelayed {
+			req.Delay = s.cfg.Quantum * (0.5 + float64(arg%16))
+		}
+		view, err := s.c.Submit(req)
+		if err != nil {
+			if !strings.Contains(err.Error(), "admission rejected") {
+				return err
+			}
+			s.rejected++
+			fmt.Fprintf(&s.tr, "a%03d submit %s rejected (admission)\n", s.actionN, req.Session)
+			return nil
+		}
+		s.submitted++
+		s.accepted = append(s.accepted, view.ID)
+		shard := (view.ID - 1) % s.cfg.Shards
+		fmt.Fprintf(&s.tr, "a%03d submit gid=%d shard=%d %s prio=%d delay=%s status=%s sql=%q\n",
+			s.actionN, view.ID, shard, req.Session, req.Priority, g(req.Delay), view.Status, req.SQL)
+	case opAdvance:
+		v := s.cfg.Quantum * (0.3 + 3.7*float64(arg)/255)
+		fmt.Fprintf(&s.tr, "a%03d advance %s\n", s.actionN, g(v))
+		if err := s.c.Advance(v); err != nil {
+			return err
+		}
+		s.advancedTotal += v
+	case opBlock, opUnblock, opAbort, opSetPriority:
+		gid, ok := s.pickGID(arg, kind)
+		if !ok {
+			fmt.Fprintf(&s.tr, "a%03d %s skip (no target)\n", s.actionN, kind)
+			return nil
+		}
+		var err error
+		switch kind {
+		case opBlock:
+			err = s.c.Block(gid)
+		case opUnblock:
+			err = s.c.Unblock(gid)
+		case opAbort:
+			err = s.c.Abort(gid)
+			if err == nil {
+				s.aborted++
+			}
+		default:
+			err = s.c.SetPriority(gid, int(arg>>4)%3)
+		}
+		fmt.Fprintf(&s.tr, "a%03d %s gid=%d err=%v\n", s.actionN, kind, gid, err)
+	case opExec:
+		s.execN++
+		table := "t0"
+		keys := keyRangeT0
+		if arg&4 != 0 {
+			table = "t1"
+			keys = keyRangeT1
+		}
+		stmt := fmt.Sprintf("insert into %s values (%d, %d.5)", table, int(arg)%keys, s.execN)
+		n, err := s.c.Exec(stmt)
+		if err != nil {
+			return fmt.Errorf("exec %q: %w", stmt, err)
+		}
+		fmt.Fprintf(&s.tr, "a%03d exec %q rows=%d\n", s.actionN, stmt, n)
+	default:
+		return fmt.Errorf("sim: cluster op %d unsupported", kind)
+	}
+	return nil
+}
+
+func (s *clusterSim) clusterSQL(arg byte) string {
+	table := "t0"
+	keys := keyRangeT0
+	if arg&8 != 0 {
+		table = "t1"
+		keys = keyRangeT1
+	}
+	p := int(arg) % keys
+	switch (arg >> 4) % 3 {
+	case 0:
+		return fmt.Sprintf("select sum(v) from %s", table)
+	case 1:
+		return fmt.Sprintf("select count(*) from %s where k < %d", table, p)
+	default:
+		return fmt.Sprintf("select sum(v), count(*) from %s where k >= %d", table, p)
+	}
+}
+
+// pickGID selects a target from the merged overview, in gid order.
+func (s *clusterSim) pickGID(arg byte, kind opKind) (int, bool) {
+	ov, err := s.c.Overview()
+	if err != nil {
+		return 0, false
+	}
+	var ids []int
+	add := func(views []service.QueryView, statuses ...string) {
+		for _, v := range views {
+			for _, st := range statuses {
+				if v.Status == st {
+					ids = append(ids, v.ID)
+				}
+			}
+		}
+	}
+	switch kind {
+	case opBlock:
+		add(ov.Running, "running")
+	case opUnblock:
+		add(ov.Running, "blocked")
+	case opAbort:
+		add(ov.Running, "running", "blocked")
+		add(ov.Queued, "queued")
+		add(ov.Scheduled, "scheduled")
+	default:
+		add(ov.Running, "running", "blocked")
+		add(ov.Queued, "queued")
+	}
+	if len(ids) == 0 {
+		return 0, false
+	}
+	sort.Ints(ids)
+	return ids[int(arg)%len(ids)], true
+}
+
+// check enforces the router-level invariants against the merged view and
+// appends the canonical state line to the trace.
+func (s *clusterSim) check() {
+	ov, err := s.c.Overview()
+	if err != nil {
+		s.violate("overview failed: %v", err)
+		return
+	}
+
+	// C1+C2 — placement conservation and gid uniqueness: every accepted
+	// query appears in the merged view exactly once, on the shard its gid
+	// encodes, and nothing the cluster never accepted shows up.
+	seen := map[int]string{}
+	walk := func(views []service.QueryView, section string) {
+		for _, v := range views {
+			if prev, dup := seen[v.ID]; dup {
+				s.violate("C2: gid %d appears in both %s and %s", v.ID, prev, section)
+			}
+			seen[v.ID] = section
+		}
+	}
+	walk(ov.Running, "running")
+	walk(ov.Queued, "queued")
+	walk(ov.Scheduled, "scheduled")
+	walk(ov.Finished, "finished")
+	if len(seen) != len(s.accepted) {
+		s.violate("C1: merged view holds %d queries, accepted %d", len(seen), len(s.accepted))
+	}
+	for _, gid := range s.accepted {
+		if _, ok := seen[gid]; !ok {
+			s.violate("C1: accepted gid %d vanished from the merged view", gid)
+		}
+	}
+
+	// C3 — no lost work across aborts: terminal + live counts add up to
+	// every accepted admission (aborts move queries between sections, they
+	// never drop them).
+	total := len(ov.Running) + len(ov.Queued) + len(ov.Scheduled) + len(ov.Finished)
+	if total != s.submitted {
+		s.violate("C3: view total %d != %d accepted submissions", total, s.submitted)
+	}
+
+	// C4 — per-shard epoch monotonicity and clock sanity: published
+	// snapshots never go backwards, and no shard's virtual clock outruns the
+	// total advanced time.
+	for i, sh := range ov.Shards {
+		if sh.Epoch < s.lastEpochs[i] {
+			s.violate("C4: shard %d epoch went backwards %d -> %d", i, s.lastEpochs[i], sh.Epoch)
+		}
+		s.lastEpochs[i] = sh.Epoch
+		if sh.Now > s.advancedTotal+1e-9 {
+			s.violate("C4: shard %d clock %s beyond advanced total %s", i, g(sh.Now), g(s.advancedTotal))
+		}
+	}
+
+	// C5 — admission accounting: the router placed exactly the accepted
+	// submissions, spread over the shards.
+	routed := uint64(0)
+	for _, n := range s.c.Metrics().RoutedCounts() {
+		routed += n
+	}
+	if routed != uint64(s.submitted) {
+		s.violate("C5: routed %d != accepted %d", routed, s.submitted)
+	}
+	if got := s.c.Metrics().Rejected(); got != uint64(s.rejected) {
+		s.violate("C5: rejected counter %d != observed %d", got, s.rejected)
+	}
+
+	// Canonical state line: per-shard section counts and clocks only —
+	// nothing wall-clock- or worker-dependent.
+	fmt.Fprintf(&s.tr, "state")
+	for _, sh := range ov.Shards {
+		fmt.Fprintf(&s.tr, " s%d[now=%s r=%d q=%d s=%d f=%d rem=%s]",
+			sh.Shard, g(sh.Now), sh.Running, sh.Queued, sh.Scheduled, sh.Finished, g(sh.RemainingU))
+	}
+	fmt.Fprintf(&s.tr, " rejected=%d\n", s.rejected)
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestClusterSimMatrix is the cluster-mode correctness gate: for every seed
+// and every routing policy, the sharded tier must satisfy the router-level
+// invariants (placement conservation, gid uniqueness, no lost work across
+// aborts, admission accounting) and produce byte-identical traces at
+// per-shard workers 1, 2, and 4.
+func TestClusterSimMatrix(t *testing.T) {
+	policies := []string{"round-robin", "least-loaded", "affinity"}
+	for seed := int64(1); seed <= int64(*seedCount); seed++ {
+		policy := policies[seed%int64(len(policies))]
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d/%s", seed, policy), func(t *testing.T) {
+			t.Parallel()
+			base, err := RunCluster(ClusterConfig{Seed: seed, Workers: 1, Routing: policy})
+			if err != nil {
+				t.Fatalf("workers=1: %v", err)
+			}
+			for _, v := range base.Violations {
+				t.Errorf("workers=1: %s", v)
+			}
+			if base.Submitted == 0 {
+				t.Error("run submitted no queries; the action stream is broken")
+			}
+			for _, w := range []int{2, 4} {
+				res, err := RunCluster(ClusterConfig{Seed: seed, Workers: w, Routing: policy})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				for _, v := range res.Violations {
+					t.Errorf("workers=%d: %s", w, v)
+				}
+				if res.Trace != base.Trace {
+					t.Errorf("workers=%d trace differs from workers=1 (lengths %d vs %d): %s",
+						w, len(res.Trace), len(base.Trace), firstDiff(base.Trace, res.Trace))
+				}
+			}
+		})
+	}
+}
+
+// TestClusterSimAdmission runs the matrix's admission variant: a tight
+// token bucket in reject mode must produce 429s that the accounting
+// invariant (C5) reconciles, deterministically across worker counts.
+func TestClusterSimAdmission(t *testing.T) {
+	for _, queue := range []bool{false, true} {
+		queue := queue
+		t.Run(fmt.Sprintf("queue=%v", queue), func(t *testing.T) {
+			t.Parallel()
+			cfg := ClusterConfig{
+				Seed: 11, Workers: 1, Shards: 2, Routing: "least-loaded",
+				AdmitRate: 0.5, AdmitBurst: 2, AdmitQueue: queue,
+			}
+			base, err := RunCluster(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range base.Violations {
+				t.Error(v)
+			}
+			if !queue && base.Rejected == 0 {
+				t.Error("tight reject-mode bucket rejected nothing")
+			}
+			if queue && base.Rejected != 0 {
+				t.Errorf("queue mode rejected %d submissions", base.Rejected)
+			}
+			cfg.Workers = 4
+			res, err := RunCluster(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Trace != base.Trace {
+				t.Errorf("admission trace differs across workers: %s", firstDiff(base.Trace, res.Trace))
+			}
+		})
+	}
+}
+
+// TestClusterSimSingleShard pins the degenerate cluster: one shard must
+// reduce to the plain service (identity gids) while every invariant and the
+// determinism contract still hold.
+func TestClusterSimSingleShard(t *testing.T) {
+	base, err := RunCluster(ClusterConfig{Seed: 5, Workers: 1, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range base.Violations {
+		t.Error(v)
+	}
+	res, err := RunCluster(ClusterConfig{Seed: 5, Workers: 4, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != base.Trace {
+		t.Errorf("single-shard trace differs across workers: %s", firstDiff(base.Trace, res.Trace))
+	}
+}
