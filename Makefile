@@ -9,11 +9,14 @@ build:
 test:
 	$(GO) test ./...
 
-# bench tracks the poll-path baseline committed in BENCH_pollpath.json and
-# the tick-path baseline (MPL 1/4/16 × worker counts) in BENCH_tickpath.json.
+# bench tracks the poll-path baseline committed in BENCH_pollpath.json, the
+# tick-path baseline (MPL 1/4/16 × worker counts) in BENCH_tickpath.json, and
+# the shared-scan baseline (1/2/4/8 members, solo vs folded) in
+# BENCH_sharedscan.json.
 bench:
 	$(GO) test -run '^$$' -bench ConcurrentPoll -benchmem ./internal/service/
 	$(GO) test -run '^$$' -bench ParallelTick -benchmem ./internal/sched/
+	$(GO) test -run '^$$' -bench SharedScan -benchmem ./internal/sched/
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
@@ -44,9 +47,12 @@ ci: vet build race
 	# Cluster-mode sim invariant matrix: the sharded tier's routing-level
 	# invariants (placement conservation, no lost work across aborts,
 	# admission accounting) and per-shard byte-identical determinism at
-	# workers 1/2/4 must hold on one core and on several.
-	GOMAXPROCS=1 $(GO) test -race -count=1 -run 'TestClusterSim' ./internal/sim/
-	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestClusterSim' ./internal/sim/
+	# workers 1/2/4 must hold on one core and on several. TestFoldSim adds the
+	# folding matrices: fold-on runs must stay byte-identical across worker
+	# counts and — stripped of fold annotations — identical to fold-off runs,
+	# with I11/C6 cost-plane conservation exact.
+	GOMAXPROCS=1 $(GO) test -race -count=1 -run 'TestClusterSim|TestFoldSim' ./internal/sim/
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestClusterSim|TestFoldSim' ./internal/sim/
 	$(MAKE) cover-check
 	$(MAKE) bench-check
 	$(MAKE) fuzz-smoke
@@ -68,10 +74,11 @@ cover-check:
 	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t+0 < f+0) }' || \
 		{ echo "coverage $$total% fell below the committed baseline $$floor%"; exit 1; }
 
-# bench-check is the allocation ratchet: a short BenchmarkParallelTick run's
-# allocs/op must not exceed the figures committed in BENCH_tickpath.json
-# (currently 0 across the board — the zero-alloc steady-state tick). Timings
-# are machine-dependent and not compared; allocation counts are deterministic,
+# bench-check is the allocation ratchet: short BenchmarkParallelTick and
+# BenchmarkSharedScan runs' allocs/op must not exceed the figures committed in
+# BENCH_tickpath.json and BENCH_sharedscan.json (currently 0 across the board —
+# the zero-alloc steady-state tick, solo and folded). Timings are
+# machine-dependent and not compared; allocation counts are deterministic,
 # so even a -benchtime 10x run measures them exactly. SHORT=1 skips it.
 bench-check:
 ifeq ($(SHORT),1)
@@ -94,6 +101,23 @@ else
 		} \
 		END { if (bad) { print "bench-check: allocs/op regressed above BENCH_tickpath.json"; exit 1 } } \
 	' BENCH_tickpath.json bench_live.txt; status=$$?; rm -f bench_live.txt; exit $$status
+	@$(GO) test -run '^$$' -bench SharedScan -benchtime 10x -benchmem ./internal/sched/ > bench_live.txt || { cat bench_live.txt; rm -f bench_live.txt; exit 1; }
+	@awk ' \
+		FILENAME == "BENCH_sharedscan.json" { \
+			if ($$1 == "\"name\":") { name = $$2; gsub(/[",]/, "", name) } \
+			if ($$1 == "\"allocs_per_op\":") { allocs = $$2; gsub(/,/, "", allocs); base[name] = allocs + 0 } \
+			next \
+		} \
+		/^BenchmarkSharedScan\// && / allocs\/op/ { \
+			name = $$1; sub(/-[0-9]+$$/, "", name); \
+			live = $$(NF-1) + 0; \
+			if (name in base) { \
+				printf "%-42s %3d allocs/op (baseline %d)\n", name, live, base[name]; \
+				if (live > base[name]) { bad = 1 } \
+			} \
+		} \
+		END { if (bad) { print "bench-check: allocs/op regressed above BENCH_sharedscan.json"; exit 1 } } \
+	' BENCH_sharedscan.json bench_live.txt; status=$$?; rm -f bench_live.txt; exit $$status
 endif
 
 # fuzz-smoke gives each native fuzz target a short budget on every ci run, so

@@ -36,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: dataset|mcq|naq|scq|scq-lambda|scq-traj|maint|stages|speedup|priority|robust|mpl|cluster|all")
+		exp      = flag.String("exp", "all", "experiment: dataset|mcq|naq|scq|scq-lambda|scq-traj|maint|stages|speedup|priority|robust|mpl|cluster|folding|all")
 		seed     = flag.Int64("seed", 1, "random seed")
 		runs     = flag.Int("runs", 0, "runs per data point (0 = experiment default)")
 		rows     = flag.Int("lineitem", 0, "lineitem row count (0 = experiment default)")
@@ -284,6 +284,26 @@ func main() {
 		}
 		fmt.Fprintln(txt)
 		return showFig("cluster-eta", &res.FigETA)
+	})
+
+	step("folding", func() error {
+		res, err := experiments.RunFoldingSweep(experiments.FoldingConfig{
+			Seed: *seed, Runs: *runs, Parallel: *parallel, Workers: *workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(txt, "== Extension: shared-scan folding on a Zipf-skewed scan workload ==")
+		fmt.Fprintln(txt, "(throughput and ETA series must coincide: folding only moves engine cost)")
+		if err := showFig("folding-throughput", &res.FigThroughput); err != nil {
+			return err
+		}
+		fmt.Fprintln(txt)
+		if err := showFig("folding-eta", &res.FigETA); err != nil {
+			return err
+		}
+		fmt.Fprintln(txt)
+		return showFig("folding-saved", &res.FigSaved)
 	})
 
 	if ran == 0 {

@@ -50,6 +50,8 @@ type options struct {
 	admitRate    float64
 	admitBurst   float64
 	admitQueue   bool
+	fold         bool
+	foldMinPages int
 }
 
 func parseFlags(args []string) (options, error) {
@@ -71,6 +73,8 @@ func parseFlags(args []string) (options, error) {
 	fs.Float64Var(&o.admitRate, "admit-rate", 0, "token-bucket admission rate, queries per virtual second (0 = no admission control)")
 	fs.Float64Var(&o.admitBurst, "admit-burst", 0, "token-bucket burst capacity (0 = max(admit-rate, 1))")
 	fs.BoolVar(&o.admitQueue, "admit-queue", false, "queue over-rate submissions as delayed arrivals instead of rejecting with 429")
+	fs.BoolVar(&o.fold, "fold", false, "fold same-table same-priority seq scans onto one shared cursor (charged progress is unchanged; only engine cost drops)")
+	fs.IntVar(&o.foldMinPages, "fold-min-pages", 0, "smallest table (heap pages) eligible for scan folding (0 = default floor)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -82,6 +86,9 @@ func parseFlags(args []string) (options, error) {
 	}
 	if o.admitRate < 0 || o.admitBurst < 0 {
 		return o, errors.New("admit-rate and admit-burst must be non-negative")
+	}
+	if o.foldMinPages < 0 {
+		return o, errors.New("fold-min-pages must be non-negative")
 	}
 	if err := cluster.ValidRouting(o.routing); err != nil {
 		return o, err
@@ -112,7 +119,10 @@ func openDemo(o options) (*engine.DB, error) {
 // -shards or -admit-rate ask for one. It is the testable core of main.
 func buildServer(o options) (interface{ Close() }, http.Handler, error) {
 	svcCfg := service.Config{
-		Sched:        sched.Config{RateC: o.rateC, MPL: o.mpl, Quantum: o.quantum, Workers: o.workers},
+		Sched: sched.Config{
+			RateC: o.rateC, MPL: o.mpl, Quantum: o.quantum, Workers: o.workers,
+			Fold: o.fold, FoldMinPages: o.foldMinPages,
+		},
 		TickEvery:    o.tickEvery,
 		TimeScale:    o.timeScale,
 		EventCap:     o.eventCap,
@@ -167,8 +177,8 @@ func run(args []string) error {
 	srv := &http.Server{Addr: o.addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("mqpi-serve listening on %s (C=%g U/s, quantum=%gs, timescale=%g, workers=%d, shards=%d, routing=%s, admit-rate=%g, demo=%v)",
-		o.addr, o.rateC, o.quantum, o.timeScale, o.workers, o.shards, o.routing, o.admitRate, o.demo)
+	log.Printf("mqpi-serve listening on %s (C=%g U/s, quantum=%gs, timescale=%g, workers=%d, shards=%d, routing=%s, admit-rate=%g, fold=%v, demo=%v)",
+		o.addr, o.rateC, o.quantum, o.timeScale, o.workers, o.shards, o.routing, o.admitRate, o.fold, o.demo)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

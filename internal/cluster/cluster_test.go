@@ -374,3 +374,55 @@ func TestAdmissionQueueMode(t *testing.T) {
 		t.Fatalf("after refill: %+v, %v", p, err)
 	}
 }
+
+// TestLeastLoadedFoldAware: when a shard advertises a live fold group on the
+// submission's driver table, least-loaded routing co-locates the query there
+// even though another shard carries strictly less work. Submissions on other
+// tables still fall back to plain least-loaded.
+func TestLeastLoadedFoldAware(t *testing.T) {
+	cfg := Config{Shards: 2, Routing: "least-loaded"}
+	cfg.Service.Sched = sched.Config{RateC: 10, Quantum: 0.5, Fold: true}
+	c := manualCluster(t, cfg, 40)
+	if _, err := c.Exec("CREATE TABLE t2 (b BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("INSERT INTO t2 VALUES (1),(2),(3)"); err != nil {
+		t.Fatal(err)
+	}
+
+	v0 := submit(t, c, "seed") // all empty: tie-break to shard 0
+	if s, _, _ := c.locate(v0.ID); s != 0 {
+		t.Fatalf("seed on shard %d, want 0", s)
+	}
+	// One quantum: the seed attaches to its (so far 1-member) fold group and
+	// shard 0's published snapshot starts advertising t1.
+	if err := c.Advance(0.5); err != nil {
+		t.Fatal(err)
+	}
+	loads := c.Loads()
+	if len(loads[0].FoldTables) != 1 || loads[0].FoldTables[0] != "t1" {
+		t.Fatalf("shard 0 fold tables = %v, want [t1]", loads[0].FoldTables)
+	}
+	if loads[0].RemainingU <= loads[1].RemainingU {
+		t.Fatalf("precondition broken: shard 0 (%.2f U) not more loaded than shard 1 (%.2f U)",
+			loads[0].RemainingU, loads[1].RemainingU)
+	}
+
+	// Same driver table: must co-locate with the live group on the busier
+	// shard 0, where plain least-loaded would have picked shard 1.
+	v1 := submit(t, c, "join")
+	if s, _, _ := c.locate(v1.ID); s != 0 {
+		t.Fatalf("same-table scan routed to shard %d, want co-located on 0", s)
+	}
+
+	// Different table, no live group anywhere: plain least-loaded → shard 1.
+	v2, err := c.Submit(SubmitRequest{SubmitRequest: service.SubmitRequest{
+		Label: "other", SQL: "SELECT SUM(b) FROM t2",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _, _ := c.locate(v2.ID); s != 1 {
+		t.Fatalf("other-table scan routed to shard %d, want least-loaded shard 1", s)
+	}
+}

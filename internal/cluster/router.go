@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync/atomic"
+
+	"mqpi/internal/engine/sql"
 )
 
 // router places one submission on a shard. pick must be safe for concurrent
@@ -53,17 +55,58 @@ func (r *roundRobin) name() string { return "round-robin" }
 // lowest shard index so serial workloads stay deterministic. The probes are
 // epoch-snapshot reads: a shard mid-tick serves its previous snapshot, which
 // is the freshest view obtainable without stalling the scheduler.
+//
+// When shards run with shared-scan folding, the policy is fold-aware: if the
+// submission's driver table already has a live fold group on some shard, the
+// query goes to the least-loaded shard among those — co-locating same-table
+// scans so they ride one cursor instead of each paying full I/O on separate
+// shards. With no live fold groups anywhere (folding off, or nothing
+// currently folded) the scan below never finds a candidate and placement is
+// identical to plain least-loaded.
 type leastLoaded struct{}
 
-func (leastLoaded) pick(c *Cluster, _ SubmitRequest) int {
-	best, bestRemaining := 0, 0.0
+func (leastLoaded) pick(c *Cluster, req SubmitRequest) int {
+	table := driverTable(req.SQL)
+	best, bestRemaining := -1, 0.0
+	foldBest, foldRemaining := -1, 0.0
 	for i, m := range c.shards {
 		l := m.Load()
-		if i == 0 || l.RemainingU < bestRemaining {
+		if best < 0 || l.RemainingU < bestRemaining {
 			best, bestRemaining = i, l.RemainingU
 		}
+		if table != "" && hasFoldTable(l.FoldTables, table) {
+			if foldBest < 0 || l.RemainingU < foldRemaining {
+				foldBest, foldRemaining = i, l.RemainingU
+			}
+		}
+	}
+	if foldBest >= 0 {
+		return foldBest
 	}
 	return best
+}
+
+// driverTable extracts the scan's driver table from the submission SQL: the
+// first FROM entry, which the planner walks to as the left-most seq-scan leaf
+// (the fold attachment point). Unparseable or table-less statements yield ""
+// and route by load alone.
+func driverTable(src string) string {
+	sel, err := sql.ParseSelect(src)
+	if err != nil || len(sel.From) == 0 {
+		return ""
+	}
+	return sel.From[0].Table
+}
+
+// hasFoldTable reports whether table is in the shard's sorted live-group
+// list. Linear scan: the list is tiny (one entry per distinct folded table).
+func hasFoldTable(tables []string, table string) bool {
+	for _, t := range tables {
+		if t == table {
+			return true
+		}
+	}
+	return false
 }
 
 func (leastLoaded) name() string { return "least-loaded" }

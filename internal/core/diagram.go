@@ -44,6 +44,15 @@ func StageDiagram(states []QueryState, C float64, width int) string {
 	}
 	glyphs := []rune("▁▂▃▄▅▆▇█")
 
+	// Folded queries are annotated with their shared-scan group so the rows
+	// advancing in lockstep over one cursor are visible in the figure.
+	foldOf := make(map[int]int)
+	for _, s := range prof.Shared {
+		for _, id := range s.IDs {
+			foldOf[id] = s.Fold
+		}
+	}
+
 	var b strings.Builder
 	// Render rows in finish order, like the paper's figures.
 	for qi, id := range prof.Order {
@@ -64,7 +73,11 @@ func StageDiagram(states []QueryState, C float64, width int) string {
 			// bar marks a finish time at which the survivors speed up.
 			b.WriteByte('|')
 		}
-		fmt.Fprintf(&b, "  finishes at %.1fs\n", prof.Finish[id])
+		fmt.Fprintf(&b, "  finishes at %.1fs", prof.Finish[id])
+		if g, ok := foldOf[id]; ok {
+			fmt.Fprintf(&b, "  [fold g%d]", g)
+		}
+		b.WriteByte('\n')
 	}
 	// Blocked queries (never finish) render as flat lines.
 	blockedIDs := make([]int, 0)

@@ -102,3 +102,23 @@ func TestStageDiagramBlockedRow(t *testing.T) {
 		}
 	}
 }
+
+func TestStageDiagramFoldMarker(t *testing.T) {
+	states := []QueryState{
+		{ID: 1, Remaining: 30, Weight: 1, Fold: 2},
+		{ID: 2, Remaining: 30, Weight: 1, Fold: 2},
+		{ID: 3, Remaining: 10, Weight: 1},
+	}
+	d := StageDiagram(states, 10, 40)
+	if !strings.Contains(d, "[fold g2]") {
+		t.Errorf("diagram missing fold marker:\n%s", d)
+	}
+	if strings.Count(d, "[fold g2]") != 2 {
+		t.Errorf("want fold marker on both members:\n%s", d)
+	}
+	for _, line := range strings.Split(d, "\n") {
+		if strings.HasPrefix(line, "Q3") && strings.Contains(line, "fold") {
+			t.Errorf("solo query marked folded: %s", line)
+		}
+	}
+}

@@ -61,6 +61,7 @@ type incNode struct {
 	id          int
 	ratio       float64 // sanitized Remaining/Weight — the sort key
 	c, w        float64 // sanitized Remaining and Weight
+	fold        int     // shared-scan group tag (0 = solo); not part of the key
 	prio        uint64  // deterministic heap priority: splitmix64(id)
 	gen         uint64  // Sync liveness stamp
 	cnt         int32   // subtree size
@@ -92,7 +93,7 @@ func (p *IncrementalProfile) RunnableLen() int {
 	return int(p.nodes[p.root].cnt)
 }
 
-func (p *IncrementalProfile) alloc(id int, ratio, c, w float64) int32 {
+func (p *IncrementalProfile) alloc(id int, ratio, c, w float64, fold int) int32 {
 	var idx int32
 	if p.free >= 0 {
 		idx = p.free
@@ -103,7 +104,7 @@ func (p *IncrementalProfile) alloc(id int, ratio, c, w float64) int32 {
 	}
 	p.nodes[idx] = incNode{
 		left: -1, right: -1,
-		id: id, ratio: ratio, c: c, w: w,
+		id: id, ratio: ratio, c: c, w: w, fold: fold,
 		prio: splitmix64(uint64(int64(id))), gen: p.gen,
 		cnt: 1, sumW: w, sumC: c,
 	}
@@ -221,11 +222,18 @@ func (p *IncrementalProfile) Upsert(q QueryState) bool {
 		n := p.nodes[e.node]
 		if n.ratio == ratio && n.w == q.Weight && n.c == q.Remaining {
 			p.nodes[e.node].gen = p.gen
+			if n.fold != q.Fold {
+				// Attach/detach with unchanged key (e.g. a fresh pair folding
+				// before either moved): the node stays put — fold is not part
+				// of the sort key — but the profile's Shared inventory changes.
+				p.nodes[e.node].fold = q.Fold
+				return true
+			}
 			return false
 		}
 		p.root = p.deleteKey(p.root, n.ratio, n.id)
 	}
-	idx := p.alloc(q.ID, ratio, q.Remaining, q.Weight)
+	idx := p.alloc(q.ID, ratio, q.Remaining, q.Weight, q.Fold)
 	p.insertNode(idx)
 	p.byID[q.ID] = incEntry{node: idx}
 	return true
@@ -300,6 +308,7 @@ func (p *IncrementalProfile) ProfileInto(C float64, out *Profile) {
 	}
 	out.Order = out.Order[:0]
 	out.StageDur = out.StageDur[:0]
+	out.Shared = nil
 	inf := math.Inf(1)
 	for id, e := range p.byID {
 		if e.node < 0 {
@@ -355,7 +364,11 @@ func (p *IncrementalProfile) ProfileInto(C float64, out *Profile) {
 		out.Order = append(out.Order, nd.id)
 		out.Finish[nd.id] = elapsed
 		prevRatio = nd.ratio
+		if nd.fold != 0 {
+			out.Shared = appendFoldStage(out.Shared, nd.fold, nd.id)
+		}
 	}
+	sortFoldStages(out.Shared)
 }
 
 // Profile is ProfileInto into a fresh Profile.

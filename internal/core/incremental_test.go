@@ -39,6 +39,22 @@ func bitEqualProfiles(t *testing.T, got, want Profile, label string) {
 				label, id, g, math.Float64bits(g), w, math.Float64bits(w))
 		}
 	}
+	if len(got.Shared) != len(want.Shared) {
+		t.Fatalf("%s: shared stages %v, want %v", label, got.Shared, want.Shared)
+	}
+	for i := range want.Shared {
+		if got.Shared[i].Fold != want.Shared[i].Fold {
+			t.Fatalf("%s: shared[%d] fold %d, want %d", label, i, got.Shared[i].Fold, want.Shared[i].Fold)
+		}
+		if len(got.Shared[i].IDs) != len(want.Shared[i].IDs) {
+			t.Fatalf("%s: shared[%d] members %v, want %v", label, i, got.Shared[i].IDs, want.Shared[i].IDs)
+		}
+		for j := range want.Shared[i].IDs {
+			if got.Shared[i].IDs[j] != want.Shared[i].IDs[j] {
+				t.Fatalf("%s: shared[%d] members %v, want %v", label, i, got.Shared[i].IDs, want.Shared[i].IDs)
+			}
+		}
+	}
 }
 
 func statesOf(m map[int]QueryState) []QueryState {
@@ -83,6 +99,9 @@ func randomState(rng *rand.Rand, id int) QueryState {
 	default:
 		q.Weight = []float64{1, 1, 1, 2, 4, 0.5}[rng.Intn(6)]
 	}
+	if rng.Intn(3) == 0 {
+		q.Fold = 1 + rng.Intn(3) // arrives already folded
+	}
 	return q
 }
 
@@ -114,7 +133,7 @@ func TestIncrementalProfileEventSequences(t *testing.T) {
 			return all[rng.Intn(len(all))], true
 		}
 		for step := 0; step < 150; step++ {
-			switch rng.Intn(10) {
+			switch rng.Intn(12) {
 			case 0, 1, 2: // arrival
 				q := randomState(rng, nextID)
 				nextID++
@@ -158,6 +177,20 @@ func TestIncrementalProfileEventSequences(t *testing.T) {
 			case 9: // poisoned re-key
 				if id, ok := pick(); ok {
 					q := randomState(rng, id)
+					model[id] = q
+					inc.Upsert(q)
+				}
+			case 10: // fold attach — the shared-scan tag flips with no key change
+				if id, ok := pick(); ok {
+					q := model[id]
+					q.Fold = 1 + rng.Intn(3)
+					model[id] = q
+					inc.Upsert(q)
+				}
+			case 11: // fold detach
+				if id, ok := pick(); ok {
+					q := model[id]
+					q.Fold = 0
 					model[id] = q
 					inc.Upsert(q)
 				}

@@ -20,6 +20,21 @@ type QueryState struct {
 	Remaining float64 // c_i: remaining cost in U's
 	Weight    float64 // w_i: weight of the query's priority
 	Done      float64 // e_i: work completed so far in U's
+	// Fold tags the shared-scan group the query currently rides (0 = solo).
+	// Folding is the §2.2 extension for shared work: group members advance in
+	// lockstep over the same pages, so their charged-work trajectories — and
+	// therefore every stage-model quantity — are exactly what weighted fair
+	// sharing already predicts. The tag does not alter the math; it only
+	// surfaces which stages advance together (Profile.Shared).
+	Fold int
+}
+
+// SharedStage is one fold group as the stage model sees it: the runnable
+// queries advancing in lockstep over one shared cursor. Members (being
+// equal-weight scans of the same relation) typically occupy adjacent stages.
+type SharedStage struct {
+	Fold int   // fold-group ID (matches QueryState.Fold)
+	IDs  []int // member query IDs, ascending
 }
 
 // Profile is the result of the stage model: the n queries finish one per
@@ -32,6 +47,9 @@ type Profile struct {
 	// Finish maps query ID to its predicted remaining execution time r_i in
 	// seconds. Queries that never finish (zero weight, or C <= 0) map to +Inf.
 	Finish map[int]float64
+	// Shared inventories the fold groups among the runnable queries, ordered
+	// by first appearance in stage order. Empty when nothing folds.
+	Shared []SharedStage
 }
 
 // QuiescentTime returns the predicted time until the last query finishes
@@ -96,8 +114,32 @@ func ComputeProfile(states []QueryState, C float64) Profile {
 		prof.Order = append(prof.Order, q.ID)
 		prof.Finish[q.ID] = elapsed
 		prevRatio = ratio
+		if q.Fold != 0 {
+			prof.Shared = appendFoldStage(prof.Shared, q.Fold, q.ID)
+		}
 	}
+	sortFoldStages(prof.Shared)
 	return prof
+}
+
+// appendFoldStage records one runnable folded query in the profile's shared
+// inventory: one entry per group, in order of first appearance in stage order.
+func appendFoldStage(shared []SharedStage, fold, id int) []SharedStage {
+	for i := range shared {
+		if shared[i].Fold == fold {
+			shared[i].IDs = append(shared[i].IDs, id)
+			return shared
+		}
+	}
+	return append(shared, SharedStage{Fold: fold, IDs: []int{id}})
+}
+
+// sortFoldStages canonicalizes member lists to ascending ID (they arrive in
+// (ratio, ID) stage order, which only ties back to ID order at equal ratios).
+func sortFoldStages(shared []SharedStage) {
+	for i := range shared {
+		sort.Ints(shared[i].IDs)
+	}
 }
 
 // sanitizeRate clamps a pathological processing rate: NaN and non-positive
@@ -180,7 +222,10 @@ const maxVirtualArrivals = 10000
 // slots free up and injecting predicted future arrivals. With no queue and
 // no arrivals it reproduces ComputeProfile exactly (a property the tests
 // check). Queries in the admission queue are predicted to finish after they
-// are admitted; their Finish times are included in the profile.
+// are admitted; their Finish times are included in the profile. The returned
+// profile carries no Shared inventory: fold membership is a property of the
+// live mix, and the simulation's hypothetical admissions and arrivals do not
+// model which future scans would fold.
 func SimulateProfile(running []QueryState, C float64, opt SimOptions) Profile {
 	prof := Profile{Finish: make(map[int]float64, len(running)+len(opt.Queued))}
 	C = sanitizeRate(C)

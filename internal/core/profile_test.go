@@ -441,3 +441,36 @@ func TestSimulateSimultaneousFinishTieOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestProfileSharedStages: ComputeProfile inventories fold groups in order of
+// first appearance in stage order, member IDs ascending; blocked members are
+// excluded, solo queries never appear.
+func TestProfileSharedStages(t *testing.T) {
+	states := []QueryState{
+		{ID: 1, Remaining: 100, Weight: 1, Fold: 7},
+		{ID: 2, Remaining: 100, Weight: 1, Fold: 7},
+		{ID: 3, Remaining: 10, Weight: 1},          // solo, finishes first
+		{ID: 4, Remaining: 40, Weight: 1, Fold: 9}, // earlier stage than group 7
+		{ID: 5, Remaining: 45, Weight: 1, Fold: 9},
+		{ID: 6, Remaining: 100, Weight: 0, Fold: 7}, // blocked: not in Shared
+	}
+	prof := ComputeProfile(states, 10)
+	if len(prof.Shared) != 2 {
+		t.Fatalf("shared = %v, want 2 groups", prof.Shared)
+	}
+	if prof.Shared[0].Fold != 9 || prof.Shared[1].Fold != 7 {
+		t.Errorf("group order %d,%d, want 9,7 (first appearance in stage order)",
+			prof.Shared[0].Fold, prof.Shared[1].Fold)
+	}
+	if got := prof.Shared[0].IDs; len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Errorf("group 9 members %v, want [4 5]", got)
+	}
+	if got := prof.Shared[1].IDs; len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("group 7 members %v, want [1 2]", got)
+	}
+
+	// No folds: no Shared inventory at all.
+	if p := ComputeProfile([]QueryState{{ID: 1, Remaining: 5, Weight: 1}}, 10); p.Shared != nil {
+		t.Errorf("solo profile has Shared = %v", p.Shared)
+	}
+}

@@ -19,19 +19,38 @@
 // which only executes between ticks, never during the parallel phase.
 package exec
 
-// WorkMeter accumulates the work units (U's) a query has performed.
+// WorkMeter accumulates the work units (U's) a query has performed, on two
+// planes:
+//
+//   - charged work (Total) is what the query's progress indicator sees — every
+//     page the query logically processed, whether or not the engine had to
+//     read it. Progress, ETAs, and the scheduler's credit settlement all use
+//     this plane, so folding never changes a query's reported semantics.
+//   - engine cost (Cost) is the deduplicated physical work: a page served from
+//     a shared scan's current cursor position costs the engine nothing extra
+//     for the second and later consumers. Cost <= Total always, with equality
+//     whenever the query never rode a shared cursor.
 type WorkMeter struct {
 	total float64
+	cost  float64
 }
 
-// Charge adds u work units.
-func (m *WorkMeter) Charge(u float64) { m.total += u }
+// Charge adds u work units on both planes (ordinary, unshared work).
+func (m *WorkMeter) Charge(u float64) { m.total += u; m.cost += u }
 
-// ChargePage adds one work unit (one page of bytes processed).
-func (m *WorkMeter) ChargePage() { m.total++ }
+// ChargePage adds one work unit (one page of bytes processed) on both planes.
+func (m *WorkMeter) ChargePage() { m.total++; m.cost++ }
 
-// Total returns the work done so far.
+// ChargeShared adds u charged work units without engine cost: the physical
+// read was already paid for by another member of the same shared scan.
+func (m *WorkMeter) ChargeShared(u float64) { m.total += u }
+
+// Total returns the charged work done so far.
 func (m *WorkMeter) Total() float64 { return m.total }
+
+// Cost returns the engine-cost plane: physical work actually performed on
+// behalf of this query. Equal to Total for queries that never folded.
+func (m *WorkMeter) Cost() float64 { return m.cost }
 
 // Ctx is the per-query execution context threaded through all operators.
 type Ctx struct {

@@ -55,25 +55,51 @@ func Build(n plan.Node) Operator {
 
 // --- SeqScan ---
 
+// seqScan reads heap pages from a ScanSource: the embedded soloSource
+// (physical order, classic costing) unless a FoldMember was attached before
+// the scan opened, in which case pages arrive in shared-cursor rotation
+// order. The scan itself only tracks the page currently being emitted; page
+// choice and meter charging are the source's job.
 type seqScan struct {
-	node    *plan.SeqScan
-	page    int
-	slot    int
-	charged int // last page charged + 1
+	node *plan.SeqScan
+	fold *FoldMember // set by FoldRegistry.Attach before Open; nil = solo
+	solo soloSource
+	src  ScanSource
+
+	page   int  // page currently being emitted (granted by src)
+	slot   int  // next slot within that page
+	done   int  // pages fully consumed before the current one
+	active bool // a granted page is being emitted
+	eof    bool
 }
 
 func (s *seqScan) Open(ctx *Ctx) error {
-	s.page, s.slot, s.charged = 0, 0, 0
+	s.page, s.slot, s.done, s.active, s.eof = 0, 0, 0, false, false
+	if s.fold != nil {
+		s.src = s.fold
+	} else {
+		s.solo = soloSource{rel: s.node.Table.Rel}
+		s.src = &s.solo
+	}
 	return nil
 }
 
 func (s *seqScan) Next(ctx *Ctx) (types.Row, error) {
 	rel := s.node.Table.Rel
-	for s.page < rel.NumPages() {
-		if s.page >= s.charged {
-			ctx.Meter.ChargePage()
-			s.charged = s.page + 1
+	for !s.eof {
+		if !s.active {
+			p, st := s.src.NextPage(ctx)
+			switch st {
+			case PageEOF:
+				s.eof = true
+				continue
+			case PageWait:
+				return nil, errYield
+			}
+			s.page, s.slot, s.active = p, 0, true
 		}
+		// Page(page) is re-read on every call so rows appended to the current
+		// page by DML between scheduler ticks stay visible, as before.
 		rows := rel.Page(s.page)
 		if s.slot < len(rows) {
 			id := storage.RowID{Page: s.page, Slot: s.slot}
@@ -84,8 +110,8 @@ func (s *seqScan) Next(ctx *Ctx) (types.Row, error) {
 			}
 			return r, nil
 		}
-		s.page++
-		s.slot = 0
+		s.active, s.slot = false, 0
+		s.done++
 	}
 	return nil, nil
 }
@@ -95,13 +121,15 @@ func (s *seqScan) Close() error { return nil }
 func (s *seqScan) Progress() float64 {
 	rel := s.node.Table.Rel
 	n := rel.NumSlots()
-	if n == 0 {
+	if n == 0 || s.eof {
 		return 1
 	}
 	// Slot-granular progress: page-granular reporting is far too coarse for
 	// the small part tables that drive the paper's queries, and the refined
-	// remaining-cost interpolation amplifies any progress error.
-	read := s.page*storage.PageSlots + s.slot
+	// remaining-cost interpolation amplifies any progress error. done counts
+	// consumed pages, so for a solo scan this is bit-identical to the classic
+	// page*PageSlots+slot formula at every observable point.
+	read := s.done*storage.PageSlots + s.slot
 	return math.Min(1, float64(read)/float64(n))
 }
 

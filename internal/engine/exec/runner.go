@@ -26,6 +26,7 @@ type Runner struct {
 	opened bool
 	done   bool
 	failed error
+	fold   *FoldMember // shared-scan seat, set by FoldRegistry.Attach
 
 	// CollectRows controls whether result rows are retained. Experiments
 	// discard them; the shell and examples keep them.
@@ -53,8 +54,66 @@ func (r *Runner) Done() bool { return r.done }
 // Err returns the terminal error, if execution failed.
 func (r *Runner) Err() error { return r.failed }
 
-// WorkDone returns the work units consumed so far.
+// WorkDone returns the charged work units consumed so far — the progress
+// plane, unchanged by scan sharing.
 func (r *Runner) WorkDone() float64 { return r.ctx.Meter.Total() }
+
+// CostDone returns the engine-cost units consumed so far: physical work
+// after shared-scan deduplication. Equal to WorkDone for unfolded queries.
+func (r *Runner) CostDone() float64 { return r.ctx.Meter.Cost() }
+
+// foldTarget returns the driver seq-scan a fold would attach to: the
+// left-most leaf of the operator tree, provided it is a sequential scan. The
+// driver is opened exactly once per execution, unlike inner-side scans a
+// nested-loop join re-opens per outer row, so it is the only scan a shared
+// cursor can serve coherently.
+func (r *Runner) foldTarget() *seqScan {
+	op := r.root
+	for {
+		switch x := op.(type) {
+		case *seqScan:
+			return x
+		case *filterOp:
+			op = x.child
+		case *projectOp:
+			op = x.child
+		case *nlJoin:
+			op = x.l
+		case *aggOp:
+			op = x.child
+		case *distinctOp:
+			op = x.child
+		case *sortOp:
+			op = x.child
+		case *limitOp:
+			op = x.child
+		default:
+			return nil
+		}
+	}
+}
+
+// FoldGroup returns the fold group this runner attached to, or 0 if it never
+// folded. The value survives detachment, for reporting.
+func (r *Runner) FoldGroup() int {
+	if r.fold == nil {
+		return 0
+	}
+	return r.fold.groupID
+}
+
+// FoldAttached reports whether the runner currently rides a shared cursor.
+func (r *Runner) FoldAttached() bool { return r.fold != nil && r.fold.Attached() }
+
+// ReleaseFold force-detaches the runner from its shared cursor (block, abort,
+// priority change, fold disabled). The scan finishes its lap solo; charged
+// work and results are unaffected. No-op for unfolded or already-detached
+// runners. Serial-phase only — never call while the runner may be mid-Step.
+func (r *Runner) ReleaseFold() {
+	if r.fold != nil && !r.fold.detached {
+		r.fold.group.detach(r.fold)
+	}
+}
 
 // Step executes until approximately budget additional work units have been
 // consumed or the query completes. It returns the work actually consumed
@@ -101,7 +160,10 @@ func (r *Runner) Step(budget float64) (consumed float64, done bool, err error) {
 	return r.ctx.Meter.Total() - start, r.done, r.failed
 }
 
-// Run executes the query to completion.
+// Run executes the query to completion. It must not be used on a folded
+// runner: a shared cursor parks behind its slowest member (Step yields with
+// no progress), and only the scheduler's group-aware execute phase steps the
+// members in rotation.
 func (r *Runner) Run() error {
 	for {
 		_, done, err := r.Step(math.MaxFloat64 / 4)

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mqpi/internal/metrics"
+	"mqpi/internal/sched"
+	"mqpi/internal/service"
+	"mqpi/internal/workload"
+)
+
+// FoldingConfig configures the shared-scan folding experiment: a Zipf-skewed
+// scan workload (hotter skew ⇒ more same-table collisions ⇒ more foldable
+// work) replayed twice per cell, folding on and folding off. The design
+// claim under test is that folding moves ONLY the engine-cost plane: the
+// throughput and ETA series must coincide exactly between the two modes,
+// while the saved-pages series separates them.
+type FoldingConfig struct {
+	Seed       int64
+	Runs       int       // per cell; default 3
+	NumQueries int       // per run; default 24
+	ZipfAs     []float64 // table-size/popularity skew; default 1.05, 1.3, 1.6, 2.0
+	RateC      float64   // processing rate; default 10
+	Quantum    float64   // default 0.5
+	MPL        int       // admission limit; default 4 (folding needs co-residents)
+	Workers    int       // execute workers; results identical at any setting
+	// Parallel caps worker goroutines across independent cells (0 =
+	// GOMAXPROCS, 1 = sequential). Output is identical at every setting.
+	Parallel int
+}
+
+func (c FoldingConfig) withDefaults() FoldingConfig {
+	if c.Runs <= 0 {
+		c.Runs = 3
+	}
+	if c.NumQueries <= 0 {
+		c.NumQueries = 24
+	}
+	if len(c.ZipfAs) == 0 {
+		c.ZipfAs = []float64{1.05, 1.3, 1.6, 2.0}
+	}
+	if c.RateC <= 0 {
+		c.RateC = 10
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 0.5
+	}
+	if c.MPL <= 0 {
+		c.MPL = 4
+	}
+	return c
+}
+
+// FoldingResult carries three series pairs (fold-on vs fold-off): throughput
+// and ETA error (time-0 and mid-flight samples), which must be identical
+// between the modes, and the fraction of engine work the shared cursors
+// deduplicated, which is where folding is allowed to show.
+type FoldingResult struct {
+	FigThroughput metrics.Figure
+	FigETA        metrics.Figure
+	FigSaved      metrics.Figure
+}
+
+// RunFoldingSweep replays the workload for every (zipf-a, fold, run) cell.
+// Each cell submits NumQueries staggered SUM scans over the z-ladder tables
+// (the table index drawn from the cell's Zipf), drains to quiescence, and
+// reports throughput (queries per virtual second of makespan), mean relative
+// error of the multi-query ETA (sampled at submission and once per drain tick
+// mid-flight), and the saved fraction Σ(done−cost)/Σdone.
+func RunFoldingSweep(cfg FoldingConfig) (*FoldingResult, error) {
+	cfg = cfg.withDefaults()
+	res := &FoldingResult{
+		FigThroughput: metrics.Figure{
+			Title:  "Shared-scan folding: throughput vs workload skew (must coincide)",
+			XLabel: "zipf a",
+			YLabel: "queries per virtual second",
+		},
+		FigETA: metrics.Figure{
+			Title:  "Shared-scan folding: mean multi-query ETA error (time-0 + mid-flight) vs skew (must coincide)",
+			XLabel: "zipf a",
+			YLabel: "relative error (fraction)",
+		},
+		FigSaved: metrics.Figure{
+			Title:  "Shared-scan folding: engine work deduplicated vs workload skew",
+			XLabel: "zipf a",
+			YLabel: "saved fraction of charged work",
+		},
+	}
+
+	type cell struct {
+		throughput float64
+		errs       []float64
+		done, cost float64
+	}
+	modes := []bool{false, true}
+	nCells := len(cfg.ZipfAs) * len(modes) * cfg.Runs
+	cells, err := runIndexed(cfg.Parallel, nCells, func(j int) (cell, error) {
+		ai := j / (len(modes) * cfg.Runs)
+		fold := modes[(j/cfg.Runs)%len(modes)]
+		r := j % cfg.Runs
+		// The seed offset deliberately ignores the fold mode: both modes of a
+		// (zipf-a, run) pair replay the identical dataset and arrival stream,
+		// so any charged-plane divergence is a bug, not noise.
+		off := int64(ai)*104729 + int64(r)*7919
+		dbSeed := datasetSeed(cfg.Seed, off)
+		rng := rand.New(rand.NewSource(cfg.Seed + off))
+		zipf, err := workload.NewZipf(cfg.ZipfAs[ai], clusterTables)
+		if err != nil {
+			return cell{}, err
+		}
+
+		db, err := clusterSweepDB(dbSeed)
+		if err != nil {
+			return cell{}, err
+		}
+		m := service.New(db, service.Config{
+			Sched: sched.Config{
+				RateC: cfg.RateC, MPL: cfg.MPL, Quantum: cfg.Quantum,
+				Workers: cfg.Workers, Fold: fold,
+			},
+			TickEvery: -1,
+		})
+		defer m.Close()
+
+		// Every multi-query ETA the service publishes is scored against the
+		// realized remaining time: one sample at submission (time 0) and one
+		// per drain tick while the query runs (mid-flight).
+		type pred struct {
+			id  int
+			at  float64
+			eta float64
+		}
+		var preds []pred
+		sample := func(id int, at float64, eta float64) {
+			if !math.IsNaN(eta) && !math.IsInf(eta, 0) && eta > 0 {
+				preds = append(preds, pred{id: id, at: at, eta: eta})
+			}
+		}
+		clock := 0.0
+		for i := 0; i < cfg.NumQueries; i++ {
+			gap := cfg.Quantum * float64(rng.Intn(3))
+			if gap > 0 {
+				if err := m.Advance(gap); err != nil {
+					return cell{}, err
+				}
+				clock += gap
+			}
+			// Hottest Zipf rank ⇒ largest ladder table: fold opportunities
+			// concentrate on scans long enough to overlap (z0 is a single page,
+			// below the registry's 2-page sharing floor).
+			table := clusterTables - zipf.Sample(rng)
+			view, err := m.Submit(service.SubmitRequest{
+				Label:    fmt.Sprintf("q%d", i+1),
+				SQL:      fmt.Sprintf("select sum(v) from z%d", table),
+				Priority: rng.Intn(3),
+			})
+			if err != nil {
+				return cell{}, err
+			}
+			sample(view.ID, clock, float64(view.MultiETA))
+		}
+
+		for i := 0; i < 10000; i++ {
+			ov, err := m.Overview()
+			if err != nil {
+				return cell{}, err
+			}
+			if len(ov.Running) == 0 && len(ov.Queued) == 0 && len(ov.Scheduled) == 0 {
+				break
+			}
+			for _, v := range ov.Running {
+				sample(v.ID, clock, float64(v.MultiETA))
+			}
+			if err := m.Advance(cfg.Quantum); err != nil {
+				return cell{}, err
+			}
+			clock += cfg.Quantum
+		}
+
+		ov, err := m.Overview()
+		if err != nil {
+			return cell{}, err
+		}
+		if len(ov.Finished) != cfg.NumQueries {
+			return cell{}, fmt.Errorf("experiments: folding cell a=%g fold=%v finished %d of %d queries",
+				cfg.ZipfAs[ai], fold, len(ov.Finished), cfg.NumQueries)
+		}
+		out := cell{throughput: float64(cfg.NumQueries) / clock}
+		finish := make(map[int]float64, len(ov.Finished))
+		for _, v := range ov.Finished {
+			if v.Status != "finished" {
+				return cell{}, fmt.Errorf("experiments: query %d ended %s: %s", v.ID, v.Status, v.Err)
+			}
+			out.done += v.Done
+			out.cost += v.Cost
+			finish[v.ID] = v.FinishTime
+		}
+		for _, p := range preds {
+			if actual := finish[p.id] - p.at; actual > 0 {
+				out.errs = append(out.errs, metrics.RelErr(p.eta, actual))
+			}
+		}
+		if !fold && out.cost != out.done {
+			return cell{}, fmt.Errorf("experiments: fold-off cell a=%g cost %g != done %g",
+				cfg.ZipfAs[ai], out.cost, out.done)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for mi, fold := range modes {
+		name := "fold-off"
+		if fold {
+			name = "fold-on"
+		}
+		sT := res.FigThroughput.AddSeries(name)
+		sE := res.FigETA.AddSeries(name)
+		sS := res.FigSaved.AddSeries(name)
+		for ai, a := range cfg.ZipfAs {
+			var tps, errs []float64
+			done, cost := 0.0, 0.0
+			for r := 0; r < cfg.Runs; r++ {
+				c := cells[ai*len(modes)*cfg.Runs+mi*cfg.Runs+r]
+				tps = append(tps, c.throughput)
+				errs = append(errs, c.errs...)
+				done += c.done
+				cost += c.cost
+			}
+			sT.Add(a, metrics.Mean(tps))
+			sE.Add(a, metrics.Mean(errs))
+			saved := 0.0
+			if done > 0 {
+				saved = (done - cost) / done
+			}
+			sS.Add(a, saved)
+		}
+	}
+	return res, nil
+}

@@ -60,19 +60,29 @@ func (s *Server) Workers() int {
 // (credits is index-aligned with runnable) and returns one result per query,
 // also index-aligned. The result slice is part of the server's tick scratch,
 // valid until the next round.
-func (s *Server) executePhase(runnable []*Query, credits []float64) []stepResult {
+//
+// items, when non-nil, partitions the runnable indexes into work items so
+// that all members of one fold group are stepped by the same worker (a shared
+// cursor is single-goroutine; see exec.FoldGroup). A nil items is the
+// identity partition — one query per item — and keeps the fold-off path on
+// the exact pre-folding code.
+func (s *Server) executePhase(runnable []*Query, credits []float64, items [][]int32) []stepResult {
 	if cap(s.scratch.results) < len(runnable) {
 		s.scratch.results = make([]stepResult, len(runnable))
 	}
 	results := s.scratch.results[:len(runnable)]
 	start := time.Now()
-	if s.cfg.Workers > 1 && len(runnable) > 1 {
+	n := len(runnable)
+	if items != nil {
+		n = len(items)
+	}
+	if s.cfg.Workers > 1 && n > 1 {
 		if s.pool == nil {
 			s.pool = newExecPool(s.cfg.Workers)
 		}
-		s.pool.run(runnable, credits, results)
+		s.pool.run(runnable, credits, results, items)
 	} else {
-		b := execBatch{queries: runnable, credits: credits, results: results}
+		b := execBatch{queries: runnable, credits: credits, results: results, items: items}
 		b.drain()
 	}
 	s.lastStats.Rounds++
@@ -81,31 +91,86 @@ func (s *Server) executePhase(runnable []*Query, credits []float64) []stepResult
 	return results
 }
 
-// execBatch is one execute round's shared work list. Workers claim indexes
-// with an atomic counter, step the runner, and write only their own result
-// slot; each worker touches a disjoint set of (query, slot) pairs, and the
-// owner's wg.Wait gives it a happens-before edge on every slot before
+// execBatch is one execute round's shared work list. Workers claim work items
+// with an atomic counter, step the runners, and write only their items'
+// result slots; each worker touches a disjoint set of (query, slot) pairs,
+// and the owner's wg.Wait gives it a happens-before edge on every slot before
 // settlement reads them.
 type execBatch struct {
 	queries []*Query
 	credits []float64
 	results []stepResult
-	next    atomic.Int64
-	wg      sync.WaitGroup
+	// items partitions the query indexes into work items (nil = one query per
+	// item). Each fold group is one item, so its shared cursor is stepped by
+	// exactly one worker.
+	items [][]int32
+	next  atomic.Int64
+	wg    sync.WaitGroup
 }
 
 func (b *execBatch) drain() {
 	for {
 		i := int(b.next.Add(1)) - 1
-		if i >= len(b.queries) {
+		if b.items == nil {
+			if i >= len(b.queries) {
+				return
+			}
+			b.runOne(i)
+			continue
+		}
+		if i >= len(b.items) {
 			return
 		}
-		q := b.queries[i]
-		// The credit was fixed by the allocate phase and is read-only until
-		// settlement; Step mutates only the runner, which belongs to exactly
-		// one query.
-		consumed, done, err := q.Runner.Step(b.credits[i])
-		b.results[i] = stepResult{consumed: consumed, done: done, err: err}
+		b.runItem(b.items[i])
+	}
+}
+
+// runOne steps a single solo query against its fixed credit.
+func (b *execBatch) runOne(i int) {
+	q := b.queries[i]
+	// The credit was fixed by the allocate phase and is read-only until
+	// settlement; Step mutates only the runner, which belongs to exactly
+	// one query.
+	consumed, done, err := q.Runner.Step(b.credits[i])
+	b.results[i] = stepResult{consumed: consumed, done: done, err: err}
+}
+
+// runItem steps one work item: a solo query, or a whole fold group whose
+// members share one rotating cursor. Group members are stepped round-robin —
+// a member parked at the cursor barrier yields without consuming, so passes
+// repeat until a full pass makes no progress (everyone is out of credit,
+// parked behind a peer that is, or done). Each member's result is the sum of
+// its steps this round, exactly as a single solo Step would report.
+func (b *execBatch) runItem(item []int32) {
+	if len(item) == 1 {
+		b.runOne(int(item[0]))
+		return
+	}
+	for _, qi := range item {
+		b.results[qi] = stepResult{}
+	}
+	for {
+		progress := false
+		for _, qi := range item {
+			i := int(qi)
+			r := &b.results[i]
+			if r.done {
+				continue
+			}
+			left := b.credits[i] - r.consumed
+			if left <= 0 {
+				continue
+			}
+			consumed, done, err := b.queries[i].Runner.Step(left)
+			r.consumed += consumed
+			r.done, r.err = done, err
+			if consumed > 0 || done {
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
 	}
 }
 
@@ -155,13 +220,17 @@ func (p *execPool) close() { p.once.Do(func() { close(p.quit) }) }
 // goroutine, returning once every result slot is filled. On a closed pool
 // the caller drains the whole batch alone, so ticking a closed server stays
 // correct (just serial).
-func (p *execPool) run(queries []*Query, credits []float64, results []stepResult) {
+func (p *execPool) run(queries []*Query, credits []float64, results []stepResult, items [][]int32) {
 	b := &p.batch
-	b.queries, b.credits, b.results = queries, credits, results
+	b.queries, b.credits, b.results, b.items = queries, credits, results, items
 	b.next.Store(0)
+	work := len(queries)
+	if items != nil {
+		work = len(items)
+	}
 	n := p.helpers
-	if n > len(queries)-1 {
-		n = len(queries) - 1
+	if n > work-1 {
+		n = work - 1
 	}
 	for i := 0; i < n; i++ {
 		b.wg.Add(1)

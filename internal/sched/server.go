@@ -77,8 +77,18 @@ type Query struct {
 	FinishTime float64 // finish, abort, or failure time
 	Err        error
 
-	credit  float64
-	tracker *core.SpeedTracker
+	credit      float64
+	tracker     *core.SpeedTracker
+	foldChecked bool // fold eligibility decided (exactly-once attach)
+}
+
+// foldID returns the query's live fold-group ID, or 0 when it is not riding a
+// shared cursor (never folded, detached, or no runner).
+func (q *Query) foldID() int {
+	if q.Runner != nil && q.Runner.FoldAttached() {
+		return q.Runner.FoldGroup()
+	}
+	return 0
 }
 
 // ObservedSpeed returns the query's execution speed in U/s as monitored over
@@ -98,6 +108,7 @@ func (q *Query) State() core.QueryState {
 		Remaining: q.Runner.EstRemaining(),
 		Weight:    0, // filled by the server, which knows the weight table
 		Done:      q.Runner.WorkDone(),
+		Fold:      q.foldID(),
 	}
 }
 
@@ -128,6 +139,16 @@ type Config struct {
 	// setting: credits are fixed by the serial allocate phase before any
 	// runner moves, and settlement folds results in admission order.
 	Workers int
+	// Fold enables shared-scan folding: admitted queries that seq-scan the
+	// same relation at the same priority attach to one shared cursor, so each
+	// page read charges every member's progress but costs the engine one
+	// physical read. Progress, ETAs, and credit settlement are unchanged —
+	// only the engine-cost plane (QueryInfo.Cost) shrinks. Toggle at runtime
+	// with SetFold.
+	Fold bool
+	// FoldMinPages is the smallest relation (in pages) worth folding;
+	// values below 2 mean 2.
+	FoldMinPages int
 }
 
 func (c *Config) withDefaults() Config {
@@ -184,6 +205,10 @@ type Server struct {
 	pool      *execPool   // execute-phase workers, created lazily when Workers > 1
 	scratch   tickScratch // reused allocate/execute/settle working set
 	lastStats TickStats
+
+	foldOn      bool               // folding currently enabled (see SetFold)
+	foldReg     *exec.FoldRegistry // shared-cursor registry; nil until folding first enabled
+	foldGrouped bool               // some live group has >= 2 members (per-segment cache)
 }
 
 // tickScratch is the tick's reusable working set: the SoA credit plane —
@@ -198,6 +223,12 @@ type tickScratch struct {
 	credits  []float64
 	results  []stepResult
 	finished []*Query
+	// Fold-mode partition scratch: the execute phase's work items (one per
+	// solo query, one per fold group) and their shared index backing. Unused
+	// — and unallocated — while no live group has two members.
+	items    [][]int32
+	itemBuf  []int32
+	itemGids []int
 }
 
 func (t *tickScratch) ensure(n int) {
@@ -210,7 +241,107 @@ func (t *tickScratch) ensure(n int) {
 
 // New creates a server.
 func New(cfg Config) *Server {
-	return &Server{cfg: cfg.withDefaults(), nextID: 1}
+	s := &Server{cfg: cfg.withDefaults(), nextID: 1}
+	if s.cfg.Fold {
+		s.foldOn = true
+		s.foldReg = exec.NewFoldRegistry(s.cfg.FoldMinPages)
+	}
+	return s
+}
+
+// FoldEnabled reports whether shared-scan folding is currently on.
+func (s *Server) FoldEnabled() bool { return s.foldOn }
+
+// SetFold toggles shared-scan folding at runtime. Turning it off releases
+// every attached member (each finishes its lap solo, at full engine cost);
+// lifetime fold counters keep accumulating across toggles. Turning it on
+// makes queries that have not started executing yet eligible at the next
+// tick.
+func (s *Server) SetFold(on bool) {
+	if on == s.foldOn {
+		return
+	}
+	s.foldOn = on
+	if !on {
+		if s.foldReg != nil {
+			s.foldReg.ReleaseAll()
+			s.foldReg.Sweep()
+		}
+		return
+	}
+	if s.foldReg == nil {
+		s.foldReg = exec.NewFoldRegistry(s.cfg.FoldMinPages)
+	}
+	// Queries admitted while folding was off were never marked checked (the
+	// attach pass only runs with folding on), so still-unstarted ones are
+	// examined at the next tick. A query that attached, was released, and
+	// re-enabled stays solo: its runner already holds a detached seat.
+}
+
+// foldAttachPass folds newly admitted, not-yet-started queries in admission
+// order, then refreshes the "any group actually shares" cache the execute
+// partition keys on. Serial phase of the tick.
+func (s *Server) foldAttachPass() {
+	if !s.foldOn {
+		return
+	}
+	for _, q := range s.running {
+		if q.foldChecked || q.Status != StatusRunning {
+			continue
+		}
+		q.foldChecked = true
+		if q.Runner != nil {
+			s.foldReg.Attach(q.Runner, q.Priority)
+		}
+	}
+	s.foldGrouped = s.foldReg.HasSharing()
+}
+
+// buildItems partitions runnable into execute-phase work items: one item per
+// solo query, one item — in admission order — per fold group, so a shared
+// cursor is stepped by exactly one goroutine per round. Returns nil (the
+// identity partition) while nothing actually shares. Item index slices are
+// scratch-backed and valid until the next round.
+func (s *Server) buildItems(runnable []*Query) [][]int32 {
+	if !s.foldGrouped {
+		return nil
+	}
+	if cap(s.scratch.itemBuf) < len(runnable) {
+		s.scratch.itemBuf = make([]int32, 0, len(runnable))
+	}
+	// buf never grows past len(runnable) (each index appears exactly once),
+	// so the item sub-slices below stay valid.
+	buf := s.scratch.itemBuf[:0]
+	items := s.scratch.items[:0]
+	gids := s.scratch.itemGids[:0]
+	for i, q := range runnable {
+		gid := q.foldID()
+		if gid != 0 {
+			already := false
+			for _, g := range gids {
+				if g == gid {
+					already = true
+					break
+				}
+			}
+			if already {
+				continue
+			}
+		}
+		start := len(buf)
+		buf = append(buf, int32(i))
+		if gid != 0 {
+			for j := i + 1; j < len(runnable); j++ {
+				if runnable[j].foldID() == gid {
+					buf = append(buf, int32(j))
+				}
+			}
+			gids = append(gids, gid)
+		}
+		items = append(items, buf[start:len(buf):len(buf)])
+	}
+	s.scratch.itemBuf, s.scratch.items, s.scratch.itemGids = buf, items, gids
+	return items
 }
 
 // Close releases the execute-phase worker pool, if one was started. It is
@@ -362,6 +493,12 @@ func (s *Server) Block(id int) error {
 			// would give the victim more (or, after an overshoot, less) than
 			// its fair share in its first quantum back.
 			q.credit = 0
+			// A blocked query receives no capacity, so a fold seat it kept
+			// would park every peer at the shared cursor's barrier forever.
+			// It finishes its lap solo after Unblock.
+			if q.Runner != nil {
+				q.Runner.ReleaseFold()
+			}
 			return nil
 		}
 	}
@@ -388,6 +525,12 @@ func (s *Server) Unblock(id int) error {
 func (s *Server) SetPriority(id, priority int) error {
 	for _, q := range s.running {
 		if q.ID == id {
+			// Fold groups hold equal-weight members only (that is what keeps a
+			// member's charged progress identical to its solo run), so a query
+			// changing priority class must leave its shared cursor.
+			if q.Priority != priority && q.Runner != nil {
+				q.Runner.ReleaseFold()
+			}
 			q.Priority = priority
 			return nil
 		}
@@ -409,6 +552,9 @@ func (s *Server) Abort(id int) error {
 			q.Status = StatusAborted
 			q.FinishTime = s.now
 			q.credit = 0 // accrued credit dies with the query
+			if q.Runner != nil {
+				q.Runner.ReleaseFold() // free the fold seat, or peers barrier forever
+			}
 			s.running = append(s.running[:i], s.running[i+1:]...)
 			s.done = append(s.done, q)
 			s.fillSlots()
@@ -452,6 +598,9 @@ func (s *Server) distribute(dt float64) {
 	if dt <= 0 {
 		return
 	}
+	// Fold newly admitted queries before credit is allocated, so a pair of
+	// same-table scans submitted in the same quantum shares from page 0.
+	s.foldAttachPass()
 	// The segment runs on the scratch SoA credit plane: runnable queries,
 	// their weights, and their credit balances live in index-aligned slices,
 	// loaded once here and written back once at the end. The rounds below
@@ -506,7 +655,7 @@ func (s *Server) distribute(dt float64) {
 		// concurrently when Workers allows it. A query whose accrued credit
 		// is still non-positive (a prior overshoot) steps with a
 		// non-positive budget, which performs no work.
-		results := s.executePhase(runnable, credits)
+		results := s.executePhase(runnable, credits, s.buildItems(runnable))
 		// (3) settle: fold consumed and leftover work back in admission
 		// order, so float accumulation is independent of which worker
 		// finished first and bit-identical to the serial scheduler.
@@ -517,6 +666,13 @@ func (s *Server) distribute(dt float64) {
 			r := results[i]
 			credits[i] -= r.consumed
 			if r.done {
+				// A finisher whose driver scan never reached its lap's end
+				// (LIMIT satisfied, execution error) must leave its fold seat,
+				// or the surviving members would wait on it forever at the
+				// cursor barrier.
+				if q.Runner != nil {
+					q.Runner.ReleaseFold()
+				}
 				q.FinishTime = s.now + dt
 				if r.err != nil {
 					q.Status = StatusFailed
@@ -603,6 +759,11 @@ func (s *Server) Tick() {
 	s.running = kept
 	s.scratch.finished = finished
 	s.done = append(s.done, finished...)
+	if s.foldReg != nil {
+		// Retire groups drained by this tick's detachments, folding their page
+		// counters into the registry's lifetime totals.
+		s.foldReg.Sweep()
+	}
 	s.fillSlots()
 
 	// Speed observation happens after time advanced, so trackers see the
@@ -751,7 +912,13 @@ type QueryInfo struct {
 	// exceeds the balance), negative after a chunk overshot and the debt is
 	// being paid down. Zero in steady fluid operation.
 	Credit float64
-	Err    string // terminal error, if the query failed
+	// Cost is the engine-cost plane in U's: physical work after shared-scan
+	// deduplication. Equal to Done unless the query rode a shared cursor.
+	Cost float64
+	// FoldGroup is the shared-scan group the query currently rides, 0 when it
+	// is not attached (never folded, or detached).
+	FoldGroup int
+	Err       string // terminal error, if the query failed
 }
 
 // InfoOf captures a value snapshot of q under this server's weight table.
@@ -769,6 +936,8 @@ func (s *Server) InfoOf(q *Query) QueryInfo {
 		Remaining:  q.Runner.EstRemaining(),
 		Speed:      q.ObservedSpeed(),
 		Credit:     q.credit,
+		Cost:       q.Runner.CostDone(),
+		FoldGroup:  q.foldID(),
 	}
 	if q.Status == StatusRunning || q.Status == StatusQueued || q.Status == StatusScheduled {
 		info.Weight = s.WeightOf(q.Priority)
@@ -789,20 +958,58 @@ func (s *Server) SnapshotQuery(id int) (QueryInfo, bool) {
 	return s.InfoOf(q), true
 }
 
+// FoldStats summarizes a server's shared-scan folding state: live gauges plus
+// lifetime counters (monotonic across SetFold toggles). The zero value means
+// folding never engaged.
+type FoldStats struct {
+	Groups     int    // live fold groups (>= 1 member)
+	Members    int    // live attached members
+	Attaches   uint64 // lifetime member attachments
+	Fetches    uint64 // lifetime pages physically read by shared cursors
+	PagesSaved uint64 // lifetime page reads avoided (consumptions served shared)
+}
+
+// FoldStats returns the server's current folding summary.
+func (s *Server) FoldStats() FoldStats {
+	if s.foldReg == nil {
+		return FoldStats{}
+	}
+	st := s.foldReg.Stats()
+	return FoldStats{
+		Groups:     st.Groups,
+		Members:    st.Members,
+		Attaches:   st.Attaches,
+		Fetches:    st.Fetches,
+		PagesSaved: st.PagesSaved(),
+	}
+}
+
+// FoldTables returns the sorted table names with a live fold group — the
+// signal a fold-aware router keys on.
+func (s *Server) FoldTables() []string {
+	if s.foldReg == nil {
+		return nil
+	}
+	return s.foldReg.Tables()
+}
+
 // Snapshot is a consistent value copy of the server's whole state, taken
 // between ticks. It carries everything the progress-indicator read path
 // needs — states, weights, observed speeds — so estimates can be computed
 // from the snapshot alone, on any goroutine, with no live scheduler pointers.
 type Snapshot struct {
-	Now       float64
-	RateC     float64
-	MPL       int
-	Quantum   float64
-	Workers   int // effective execute-phase worker count (>= 1)
-	Running   []QueryInfo // admitted queries (running and blocked), admission order
-	Queued    []QueryInfo // admission queue, FIFO order
-	Scheduled []QueryInfo // future arrivals, ascending arrival time
-	Done      []QueryInfo // terminated queries, termination order
+	Now         float64
+	RateC       float64
+	MPL         int
+	Quantum     float64
+	Workers     int // effective execute-phase worker count (>= 1)
+	FoldEnabled bool
+	Fold        FoldStats
+	FoldTables  []string    // tables with a live fold group, sorted
+	Running     []QueryInfo // admitted queries (running and blocked), admission order
+	Queued      []QueryInfo // admission queue, FIFO order
+	Scheduled   []QueryInfo // future arrivals, ascending arrival time
+	Done        []QueryInfo // terminated queries, termination order
 }
 
 // Lookup finds one query's info in the snapshot, searching admitted, queued,
@@ -863,14 +1070,20 @@ func (s *Snapshot) Speeds() map[int]float64 {
 func infoStates(infos []QueryInfo) []core.QueryState {
 	out := make([]core.QueryState, 0, len(infos))
 	for _, q := range infos {
-		out = append(out, core.QueryState{ID: q.ID, Remaining: q.Remaining, Weight: q.Weight, Done: q.Done})
+		out = append(out, core.QueryState{ID: q.ID, Remaining: q.Remaining, Weight: q.Weight, Done: q.Done, Fold: q.FoldGroup})
 	}
 	return out
 }
 
 // Snapshot captures the server state as plain values.
 func (s *Server) Snapshot() Snapshot {
-	snap := Snapshot{Now: s.now, RateC: s.cfg.RateC, MPL: s.cfg.MPL, Quantum: s.cfg.Quantum, Workers: s.Workers()}
+	snap := Snapshot{
+		Now: s.now, RateC: s.cfg.RateC, MPL: s.cfg.MPL, Quantum: s.cfg.Quantum,
+		Workers:     s.Workers(),
+		FoldEnabled: s.foldOn,
+		Fold:        s.FoldStats(),
+		FoldTables:  s.FoldTables(),
+	}
 	for _, q := range s.running {
 		snap.Running = append(snap.Running, s.InfoOf(q))
 	}

@@ -407,6 +407,8 @@ func (m *Manager) afterTick() {
 		}
 		m.lastFinish[id] = abs
 	}
+	fs := m.srv.FoldStats()
+	m.metrics.setFoldStats(fs.Attaches, fs.PagesSaved, fs.Groups, fs.Members)
 	m.updateDepths()
 }
 
@@ -589,6 +591,7 @@ func (m *Manager) Overview() (Overview, error) {
 		Quantum:      snap.Sched.Quantum,
 		Workers:      snap.Sched.Workers,
 		TimeScale:    snap.TimeScale,
+		Fold:         foldView(&snap.Sched),
 		QuiescentETA: Seconds(est.quiescent),
 	}
 	for _, info := range snap.Sched.Running {
@@ -604,6 +607,28 @@ func (m *Manager) Overview() (Overview, error) {
 		out.Finished = append(out.Finished, makeView(info, est.perQuery[info.ID]))
 	}
 	return out, nil
+}
+
+// foldView projects the scheduler snapshot's folding state into the overview.
+func foldView(s *sched.Snapshot) FoldView {
+	return FoldView{
+		Enabled:    s.FoldEnabled,
+		Groups:     s.Fold.Groups,
+		Members:    s.Fold.Members,
+		Attaches:   s.Fold.Attaches,
+		PagesSaved: s.Fold.PagesSaved,
+		Tables:     s.FoldTables,
+	}
+}
+
+// SetFold toggles shared-scan folding at runtime. Turning it off releases
+// every shared cursor (members finish their laps solo); turning it on makes
+// not-yet-started queries eligible at the next tick.
+func (m *Manager) SetFold(on bool) error {
+	return m.call(func() {
+		m.srv.SetFold(on)
+		m.events.add(m.srv.Now(), 0, EventFold, fmt.Sprintf("fold=%v", on))
+	})
 }
 
 // Block suspends an admitted query (the §3.1 victim operation).
@@ -751,6 +776,10 @@ type Load struct {
 	Queued     int     // admission-queue depth
 	Scheduled  int     // future arrivals not yet submitted
 	RemainingU float64 // refined remaining cost across admitted/queued/scheduled, in U's
+	// FoldTables lists the tables with a live shared-scan group on this
+	// shard, sorted. A fold-aware router steers same-table scans here so they
+	// join the cursor instead of paying a full scan elsewhere.
+	FoldTables []string
 }
 
 // Load returns the current routing load signal. It is a pure snapshot read
@@ -766,6 +795,7 @@ func (m *Manager) Load() Load {
 		Queued:     queued,
 		Scheduled:  len(s.Sched.Scheduled),
 		RemainingU: remaining,
+		FoldTables: s.Sched.FoldTables,
 	}
 }
 

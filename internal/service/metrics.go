@@ -58,6 +58,11 @@ type Metrics struct {
 	tickRounds uint64 // cumulative allocate→execute→settle rounds across ticks
 	workers    int    // configured execute-phase worker count
 
+	foldAttaches   uint64 // lifetime shared-scan attachments (monotonic)
+	foldPagesSaved uint64 // lifetime page reads avoided by folding (monotonic)
+	foldGroups     int    // live fold groups
+	foldMembers    int    // live attached members
+
 	runningDepth   int
 	blockedDepth   int
 	queuedDepth    int
@@ -106,6 +111,17 @@ func (m *Metrics) advanceBackstopCount() uint64 {
 }
 
 func (m *Metrics) setWorkers(n int) { m.mu.Lock(); m.workers = n; m.mu.Unlock() }
+
+// setFoldStats installs the scheduler's folding summary. The counter inputs
+// are lifetime totals maintained by the fold registry (monotonic across
+// SetFold toggles), so storing absolute values keeps the exposed counters
+// Prometheus-correct.
+func (m *Metrics) setFoldStats(attaches, pagesSaved uint64, groups, members int) {
+	m.mu.Lock()
+	m.foldAttaches, m.foldPagesSaved = attaches, pagesSaved
+	m.foldGroups, m.foldMembers = groups, members
+	m.mu.Unlock()
+}
 
 // observeExecutePhase records one tick's execute-phase wall time and how many
 // allocate→execute→settle rounds the tick needed (>1 means the
@@ -195,6 +211,10 @@ func (m *Metrics) Text() string {
 	writeScalar(&b, "mqpi_exec_workers", "gauge", "Execute-phase worker count (1 = inline serial stepping).", float64(m.workers))
 	writeScalar(&b, "mqpi_exec_deadline_busy_total", "counter", "Exec statements rejected with 409 because the owner was busy past the deadline.", float64(m.execBusy))
 	writeScalar(&b, "mqpi_tick_rounds_total", "counter", "Allocate/execute/settle rounds across all ticks (redistribution re-runs included).", float64(m.tickRounds))
+	writeScalar(&b, "mqpi_fold_attach_total", "counter", "Queries attached to a shared scan cursor.", float64(m.foldAttaches))
+	writeScalar(&b, "mqpi_fold_pages_saved_total", "counter", "Page reads avoided because a fold member rode a page another member fetched.", float64(m.foldPagesSaved))
+	writeScalar(&b, "mqpi_fold_groups", "gauge", "Live shared-scan groups.", float64(m.foldGroups))
+	writeScalar(&b, "mqpi_fold_members", "gauge", "Queries currently riding a shared cursor.", float64(m.foldMembers))
 	writeScalar(&b, "mqpi_advance_backstop_total", "counter", "Advances truncated by MaxTicksPerAdvance; the residual virtual-time debt is carried into later advances.", float64(m.advanceBackstops))
 	if m.snapshotInfo != nil {
 		epoch, age := m.snapshotInfo()

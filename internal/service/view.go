@@ -44,9 +44,26 @@ type QueryView struct {
 	// a running query may briefly progress faster or slower than its weight
 	// share implies.
 	Credit float64 `json:"credit_u"`
-	SingleETA  Seconds `json:"single_query_eta"` // t = c/s (null if unobservable)
-	MultiETA   Seconds `json:"multi_query_eta"`  // stage-model estimate
-	Err        string  `json:"error,omitempty"`
+	// Cost is the engine-cost plane in U's: physical work after shared-scan
+	// deduplication. Equal to Done unless the query rode a shared cursor.
+	Cost float64 `json:"cost_u"`
+	// FoldGroup is the shared-scan group the query currently rides (omitted
+	// when solo). Members of one group advance in lockstep over one cursor.
+	FoldGroup int     `json:"fold_group,omitempty"`
+	SingleETA Seconds `json:"single_query_eta"` // t = c/s (null if unobservable)
+	MultiETA  Seconds `json:"multi_query_eta"`  // stage-model estimate
+	Err       string  `json:"error,omitempty"`
+}
+
+// FoldView summarizes shared-scan folding for the overview: live gauges plus
+// lifetime counters (monotonic across fold on/off toggles).
+type FoldView struct {
+	Enabled    bool     `json:"enabled"`
+	Groups     int      `json:"groups"`
+	Members    int      `json:"members"`
+	Attaches   uint64   `json:"attaches_total"`
+	PagesSaved uint64   `json:"pages_saved_total"`
+	Tables     []string `json:"tables,omitempty"` // tables with a live group, sorted
 }
 
 // Overview is the whole system's live view.
@@ -58,6 +75,7 @@ type Overview struct {
 	Quantum      float64     `json:"quantum"`
 	Workers      int         `json:"workers"` // execute-phase worker count
 	TimeScale    float64     `json:"time_scale"`
+	Fold         FoldView    `json:"fold"`
 	QuiescentETA Seconds     `json:"quiescent_eta"` // until ALL known work drains
 	Running      []QueryView `json:"running"`
 	Queued       []QueryView `json:"queued"`
@@ -80,6 +98,8 @@ func makeView(info sched.QueryInfo, est core.Estimate) QueryView {
 		Speed:      info.Speed,
 		Weight:     info.Weight,
 		Credit:     info.Credit,
+		Cost:       info.Cost,
+		FoldGroup:  info.FoldGroup,
 		Err:        info.Err,
 	}
 	if total := info.Done + info.Remaining; total > 0 {

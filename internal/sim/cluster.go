@@ -34,6 +34,15 @@ type ClusterConfig struct {
 	AdmitRate  float64
 	AdmitBurst float64
 	AdmitQueue bool
+
+	// Fold enables shared-scan folding on every shard. With least-loaded
+	// routing the front door becomes fold-aware, so placement may differ from
+	// a fold-off run; the C6 invariant checks each shard's cost-plane
+	// conservation either way.
+	Fold bool
+	// NoDML remaps DML actions to advances so a fold-on run is comparable
+	// against a fold-off baseline under placement-stable policies.
+	NoDML bool
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -158,6 +167,7 @@ func newClusterSim(cfg ClusterConfig) (*clusterSim, error) {
 				MPL:     cfg.MPL,
 				Quantum: cfg.Quantum,
 				Workers: cfg.Workers,
+				Fold:    cfg.Fold,
 				Weights: map[int]float64{0: 1, 1: 2, 2: 4},
 			},
 			TickEvery: -1,
@@ -199,7 +209,11 @@ func (s *clusterSim) run() (*ClusterResult, error) {
 			break
 		}
 		s.actionN++
-		if err := s.apply(clusterOpTable[op&15], arg); err != nil {
+		kind := clusterOpTable[op&15]
+		if s.cfg.NoDML && kind == opExec {
+			kind = opAdvance
+		}
+		if err := s.apply(kind, arg); err != nil {
 			return nil, fmt.Errorf("action %d: %w", s.actionN, err)
 		}
 		s.check()
@@ -437,6 +451,34 @@ func (s *clusterSim) check() {
 	}
 	if got := s.c.Metrics().Rejected(); got != uint64(s.rejected) {
 		s.violate("C5: rejected counter %d != observed %d", got, s.rejected)
+	}
+
+	// C6 — fold conservation per shard (I11 at cluster scope): each shard's
+	// work/cost gap is exactly its registry's saved pages, and with folding
+	// off the two planes are identical everywhere. Integer page charges make
+	// the equality float-exact. Violations only — nothing is traced here.
+	for i := 0; i < s.cfg.Shards; i++ {
+		sov, err := s.c.Shard(i).Overview()
+		if err != nil {
+			s.violate("C6: shard %d overview failed: %v", i, err)
+			continue
+		}
+		saved := 0.0
+		for _, sec := range [][]service.QueryView{sov.Running, sov.Queued, sov.Scheduled, sov.Finished} {
+			for _, v := range sec {
+				if v.Cost > v.Done {
+					s.violate("C6: shard %d q%d engine cost %s exceeds charged work %s", i, v.ID, g(v.Cost), g(v.Done))
+				}
+				if !s.cfg.Fold && v.Cost != v.Done {
+					s.violate("C6: shard %d q%d cost %s != done %s with folding off", i, v.ID, g(v.Cost), g(v.Done))
+				}
+				saved += v.Done - v.Cost
+			}
+		}
+		if saved != float64(sov.Fold.PagesSaved) {
+			s.violate("C6: shard %d sum(done-cost) = %s, registry saved %d pages (must be exact)",
+				i, g(saved), sov.Fold.PagesSaved)
+		}
 	}
 
 	// Canonical state line: per-shard section counts and clocks only —

@@ -100,3 +100,58 @@ func TestClusterSimSingleShard(t *testing.T) {
 		t.Errorf("single-shard trace differs across workers: %s", firstDiff(base.Trace, res.Trace))
 	}
 }
+
+// TestClusterSimFoldMatrix runs the folding variant of the cluster gate:
+// every shard folds same-table scans, the fold-aware least-loaded router is
+// in the rotation, DML is frozen, and traces must stay byte-identical at
+// per-shard workers 1, 2, and 4 while C6 (per-shard fold conservation) holds
+// after every action. Under round-robin — the only policy whose placement
+// ignores load and fold state — the fold-on trace must additionally be
+// byte-identical to the fold-off baseline: folding may not move a single
+// charged-plane observable.
+func TestClusterSimFoldMatrix(t *testing.T) {
+	policies := []string{"round-robin", "least-loaded", "affinity"}
+	for seed := int64(1); seed <= 8; seed++ {
+		policy := policies[seed%int64(len(policies))]
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d/%s", seed, policy), func(t *testing.T) {
+			t.Parallel()
+			cfg := ClusterConfig{Seed: seed, Workers: 1, Routing: policy, Fold: true, NoDML: true}
+			base, err := RunCluster(cfg)
+			if err != nil {
+				t.Fatalf("workers=1: %v", err)
+			}
+			for _, v := range base.Violations {
+				t.Errorf("workers=1: %s", v)
+			}
+			if base.Submitted == 0 {
+				t.Error("run submitted no queries; the action stream is broken")
+			}
+			for _, w := range []int{2, 4} {
+				cfg.Workers = w
+				res, err := RunCluster(cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				for _, v := range res.Violations {
+					t.Errorf("workers=%d: %s", w, v)
+				}
+				if res.Trace != base.Trace {
+					t.Errorf("workers=%d trace differs from workers=1: %s", w, firstDiff(base.Trace, res.Trace))
+				}
+			}
+			if policy == "round-robin" {
+				off, err := RunCluster(ClusterConfig{Seed: seed, Workers: 1, Routing: policy, NoDML: true})
+				if err != nil {
+					t.Fatalf("fold-off: %v", err)
+				}
+				for _, v := range off.Violations {
+					t.Errorf("fold-off: %s", v)
+				}
+				if off.Trace != base.Trace {
+					t.Errorf("fold-on trace differs from fold-off under round-robin: %s", firstDiff(off.Trace, base.Trace))
+				}
+			}
+		})
+	}
+}

@@ -36,13 +36,23 @@ import (
 //	    is admitted before it was submitted, or unblocks before it blocked;
 //	I10 incremental-profile identity — a single incremental stage structure,
 //	    patched across every action of the run, materializes a profile
-//	    bit-identical (Order, StageDur, Finish) to core.ComputeProfile built
-//	    from scratch on the same published states.
+//	    bit-identical (Order, StageDur, Finish, Shared) to core.ComputeProfile
+//	    built from scratch on the same published states;
+//	I11 fold conservation — shared-scan folding moves only the engine-cost
+//	    plane: no query's cost exceeds its charged work, the registry's saved
+//	    pages equal Σ(done−cost) over every query ever admitted exactly (all
+//	    charges are whole units, so the equality is float-exact), and with
+//	    folding never enabled the two planes are identical.
+//
+// I12 — fold on/off runs of the same seed agree on every charged-plane
+// observable — is a cross-run property, checked by TestFoldSimMatrix rather
+// than by this per-action checker.
 type checker struct {
-	m       *service.Manager
-	rateC   float64
-	quantum float64
-	mpl     int
+	m         *service.Manager
+	rateC     float64
+	quantum   float64
+	mpl       int
+	slackPerQ float64 // per-query work-accounting slop, in U's
 
 	lastEpoch uint64
 	lastSeq   int64
@@ -56,6 +66,7 @@ type checker struct {
 	predSlack map[int]float64 // credit-displacement allowance at prediction time, seconds
 	prevRun   map[int]bool    // queries with status "running" at the last check
 	seen      map[int]map[string]bool
+	foldEver  bool // folding was enabled at some check (I11's off-mode gate)
 
 	// exactChecked / exactVoided count the checks where the stage-model
 	// drift invariant ran vs. was voided because some query left the fluid
@@ -87,7 +98,9 @@ type checkCtx struct {
 
 // overshootSlack bounds the work-accounting slop per query: one indivisible
 // work chunk (a page, or one correlated-subquery evaluation) may overshoot
-// its budget per settle, and balances carry between rounds.
+// its budget per settle, and balances carry between rounds. The checker adds
+// the largest single charge on top — sort materialization bills 2×pages of
+// the sorted set in one chunk, which scales with the table size.
 const overshootSlack = 12.0
 
 func newChecker(m *service.Manager, cfg Config) *checker {
@@ -95,6 +108,7 @@ func newChecker(m *service.Manager, cfg Config) *checker {
 		m:         m,
 		rateC:     cfg.RateC,
 		quantum:   cfg.Quantum,
+		slackPerQ: overshootSlack + 2*math.Ceil(float64(cfg.Rows)/64),
 		mpl:       cfg.MPL,
 		counters:  make(map[string]float64),
 		done:      make(map[int]float64),
@@ -177,7 +191,7 @@ func (c *checker) check(tr *strings.Builder, ctx checkCtx) {
 		c.done[v.ID] = v.Done
 		totalDone += v.Done
 	}
-	slack := overshootSlack * float64(len(c.done)+1)
+	slack := c.slackPerQ * float64(len(c.done)+1)
 	if budget := c.rateC * ov.Now; totalDone > budget+slack {
 		c.fail(tr, ctx, "I5 total work %s exceeds budget C*now=%s (+%s slack)",
 			g(totalDone), g(budget), g(slack))
@@ -204,6 +218,28 @@ func (c *checker) check(tr *strings.Builder, ctx checkCtx) {
 					g(c.lastNow), g(ov.Now), g(totalDone-prevTotal), g(want))
 			}
 		}
+	}
+
+	// I11: fold conservation. Folding may only move the cost plane, and the
+	// registry's lifetime saved-pages counter must account for the work/cost
+	// gap of every query ever admitted — including aborted and failed ones,
+	// whose meters freeze with their rides intact.
+	if ov.Fold.Enabled {
+		c.foldEver = true
+	}
+	savedSum := 0.0
+	for _, v := range all {
+		if v.Cost > v.Done {
+			c.fail(tr, ctx, "I11 q%d engine cost %s exceeds charged work %s", v.ID, g(v.Cost), g(v.Done))
+		}
+		if !c.foldEver && v.Cost != v.Done {
+			c.fail(tr, ctx, "I11 q%d cost %s != done %s with folding never enabled", v.ID, g(v.Cost), g(v.Done))
+		}
+		savedSum += v.Done - v.Cost
+	}
+	if savedSum != float64(ov.Fold.PagesSaved) {
+		c.fail(tr, ctx, "I11 sum(done-cost) = %s, registry saved %d pages (must be exact)",
+			g(savedSum), ov.Fold.PagesSaved)
 	}
 
 	// I6: estimate consistency — recompute the bundle from the published
@@ -269,7 +305,7 @@ func (c *checker) checkEstimates(tr *strings.Builder, ctx checkCtx, ov *service.
 	running := make([]core.QueryState, 0, len(ov.Running))
 	speeds := make(map[int]float64, len(ov.Running))
 	for _, v := range ov.Running {
-		running = append(running, core.QueryState{ID: v.ID, Remaining: v.Remaining, Weight: v.Weight, Done: v.Done})
+		running = append(running, core.QueryState{ID: v.ID, Remaining: v.Remaining, Weight: v.Weight, Done: v.Done, Fold: v.FoldGroup})
 		speeds[v.ID] = v.Speed
 	}
 	queued := make([]core.QueryState, 0, len(ov.Queued))
@@ -340,6 +376,25 @@ func (c *checker) checkIncremental(tr *strings.Builder, ctx checkCtx, running []
 		if !ok || (math.Float64bits(got) != math.Float64bits(w) && !(math.IsNaN(got) && math.IsNaN(w))) {
 			c.fail(tr, ctx, "I10 q%d finish %s, want %s (bitwise)", id, g(got), g(w))
 			return
+		}
+	}
+	// The shared-stage inventory (fold groups in stage order, member IDs
+	// ascending) must match exactly as well.
+	if len(c.incOut.Shared) != len(want.Shared) {
+		c.fail(tr, ctx, "I10 %d shared stages, want %d", len(c.incOut.Shared), len(want.Shared))
+		return
+	}
+	for i, w := range want.Shared {
+		got := c.incOut.Shared[i]
+		if got.Fold != w.Fold || len(got.IDs) != len(w.IDs) {
+			c.fail(tr, ctx, "I10 shared stage %d = g%d/%d members, want g%d/%d", i, got.Fold, len(got.IDs), w.Fold, len(w.IDs))
+			return
+		}
+		for j := range w.IDs {
+			if got.IDs[j] != w.IDs[j] {
+				c.fail(tr, ctx, "I10 shared stage %d member %d is q%d, want q%d", i, j, got.IDs[j], w.IDs[j])
+				return
+			}
 		}
 	}
 }

@@ -63,6 +63,20 @@ type Config struct {
 	// argument). The dataset is still built from Seed. This is the FuzzSim
 	// entry point.
 	Script []byte
+	// Fold starts the run with shared-scan folding enabled: same-table,
+	// same-priority seq scans ride one cursor. Folding moves only the engine
+	// cost plane; every charged-plane observable must be unaffected (I12).
+	Fold bool
+	// NoDML remaps DML actions to advances, freezing relation cardinalities.
+	// A concurrent insert can legitimately be seen by a folded scan (which
+	// starts mid-table) and missed by the solo scan of the same query, so the
+	// fold-on/fold-off comparison is only exact with the data frozen.
+	NoDML bool
+	// FoldToggle remaps one advance slot of the op table to a fold on/off
+	// switch, exercising attach/detach churn mid-scan. The I12 matrix keeps
+	// it off so fold-on and fold-off runs see identical action streams; the
+	// fuzz target turns it on.
+	FoldToggle bool
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +120,20 @@ type Result struct {
 	// chunk-granularity burst/payback). Tests assert the checked share
 	// dominates, so the invariant cannot silently go vacuous.
 	ExactChecked, ExactVoided int
+	// Final summarizes every query's last published view in ID order. The
+	// I12 cross-run comparison keys on it: a fold-on run must agree with the
+	// fold-off baseline on everything except the cost plane.
+	Final []QueryOutcome
+}
+
+// QueryOutcome is one query's terminal charged-plane view plus its engine
+// cost.
+type QueryOutcome struct {
+	ID         int
+	Status     string
+	Done       float64
+	Cost       float64
+	FinishTime float64
 }
 
 // Run executes one simulation to completion (all actions, then a drain) and
@@ -136,6 +164,7 @@ const (
 	opExec
 	opPlan
 	opDiagram
+	opFold
 )
 
 // opTable maps the low 4 bits of an opcode byte to an action, with repeats
@@ -171,9 +200,25 @@ func (k opKind) String() string {
 		return "plan"
 	case opDiagram:
 		return "diagram"
+	case opFold:
+		return "fold"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(k))
 	}
+}
+
+// opFor maps an opcode byte to an action under the run's config: NoDML turns
+// DML into advances (same argument, so the advance amount is unchanged), and
+// FoldToggle turns one advance slot into a fold on/off switch.
+func (s *sim) opFor(op byte) opKind {
+	kind := opTable[op&15]
+	if s.cfg.NoDML && kind == opExec {
+		kind = opAdvance
+	}
+	if s.cfg.FoldToggle && op&15 == 8 {
+		kind = opFold
+	}
+	return kind
 }
 
 // actionSource yields (opcode, argument) byte pairs: from the seeded rng, or
@@ -280,6 +325,7 @@ func newSim(cfg Config) (*sim, error) {
 			MPL:     cfg.MPL,
 			Quantum: cfg.Quantum,
 			Workers: cfg.Workers,
+			Fold:    cfg.Fold,
 			Weights: map[int]float64{0: 1, 1: 2, 2: 4},
 		},
 		TickEvery: -1, // manual clock: virtual time moves only through Advance
@@ -304,7 +350,7 @@ func (s *sim) run() (*Result, error) {
 			break
 		}
 		s.actionN++
-		kind := opTable[op&15]
+		kind := s.opFor(op)
 		ctx, err := s.apply(kind, arg)
 		if err != nil {
 			return nil, fmt.Errorf("action %d (%s): %w", s.actionN, kind, err)
@@ -355,6 +401,14 @@ func (s *sim) run() (*Result, error) {
 				res.Failed++
 			}
 		}
+		for _, sec := range [][]service.QueryView{ov.Running, ov.Queued, ov.Scheduled, ov.Finished} {
+			for _, v := range sec {
+				res.Final = append(res.Final, QueryOutcome{
+					ID: v.ID, Status: v.Status, Done: v.Done, Cost: v.Cost, FinishTime: v.FinishTime,
+				})
+			}
+		}
+		sort.Slice(res.Final, func(i, j int) bool { return res.Final[i].ID < res.Final[j].ID })
 	}
 	return res, nil
 }
@@ -427,6 +481,13 @@ func (s *sim) apply(kind opKind, arg byte) (checkCtx, error) {
 		}
 		fmt.Fprintf(&s.tr, "a%03d diagram %d bytes\n%s", s.actionN, len(d), d)
 		return checkCtx{}, nil
+	case opFold:
+		// Folding moves only the cost plane, so the toggle publishes an epoch
+		// but does not perturb any charged-plane prediction.
+		on := arg&1 == 1
+		err := s.m.SetFold(on)
+		fmt.Fprintf(&s.tr, "a%03d fold on=%v err=%v\n", s.actionN, on, err)
+		return checkCtx{mutated: true}, nil
 	default:
 		return checkCtx{}, fmt.Errorf("sim: unknown op %d", kind)
 	}
