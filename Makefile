@@ -1,7 +1,7 @@
 GO ?= go
 COVER_PROFILE ?= cover.out
 
-.PHONY: build test bench bench-all bench-check race vet ci serve cover cover-check fuzz-smoke
+.PHONY: build test bench bench-all bench-check race vet ci serve cover cover-check fuzz-smoke calibration-smoke
 
 build:
 	$(GO) build ./...
@@ -51,10 +51,14 @@ ci: vet build race
 	# folding matrices: fold-on runs must stay byte-identical across worker
 	# counts and — stripped of fold annotations — identical to fold-off runs,
 	# with I11/C6 cost-plane conservation exact.
-	GOMAXPROCS=1 $(GO) test -race -count=1 -run 'TestClusterSim|TestFoldSim' ./internal/sim/
-	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestClusterSim|TestFoldSim' ./internal/sim/
+	# TestSimEstimator adds the estimate-plane matrices (I13): stage-mode runs
+	# byte-identical to the pre-refactor default, ensemble-mode runs clean and
+	# deterministic across worker counts.
+	GOMAXPROCS=1 $(GO) test -race -count=1 -run 'TestClusterSim|TestFoldSim|TestSimEstimator|TestSimEnsembleMode' ./internal/sim/
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestClusterSim|TestFoldSim|TestSimEstimator|TestSimEnsembleMode' ./internal/sim/
 	$(MAKE) cover-check
 	$(MAKE) bench-check
+	$(MAKE) calibration-smoke
 	$(MAKE) fuzz-smoke
 
 # cover prints the per-package coverage table and the repo-wide total.
@@ -118,6 +122,18 @@ else
 		} \
 		END { if (bad) { print "bench-check: allocs/op regressed above BENCH_sharedscan.json"; exit 1 } } \
 	' BENCH_sharedscan.json bench_live.txt; status=$$?; rm -f bench_live.txt; exit $$status
+endif
+
+# calibration-smoke drives the ensemble estimate plane end to end through the
+# real CLI: the seven-scenario calibration battery must run clean on a reduced
+# dataset. The 80% coverage acceptance floor itself is asserted by
+# TestRunCalibrationCoverage (under `race` above); this smoke keeps the
+# mqpi-bench flag/figure wiring from rotting. SHORT=1 skips it.
+calibration-smoke:
+ifeq ($(SHORT),1)
+	@echo "SHORT=1: skipping calibration smoke"
+else
+	$(GO) run ./cmd/mqpi-bench -exp calibration -lineitem 30000 -seed 5
 endif
 
 # fuzz-smoke gives each native fuzz target a short budget on every ci run, so

@@ -34,9 +34,38 @@ import (
 	"mqpi/internal/workload"
 )
 
+// expNames lists every runnable experiment, in battery order, plus the "all"
+// selector; -exp values are validated against it before anything runs.
+var expNames = []string{
+	"dataset", "mcq", "naq", "scq", "scq-lambda", "scq-traj", "stages",
+	"speedup", "priority", "mpl", "robust", "maint", "cluster", "folding",
+	"calibration", "all",
+}
+
+// unknownExps returns the entries of a comma-split -exp value that name no
+// experiment. A single bad name in a list like "mcq,bogus" must fail the
+// whole invocation: silently running the valid prefix would report success
+// for a sweep that never happened.
+func unknownExps(which []string) []string {
+	var bad []string
+	for _, w := range which {
+		found := false
+		for _, name := range expNames {
+			if w == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			bad = append(bad, w)
+		}
+	}
+	return bad
+}
+
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: dataset|mcq|naq|scq|scq-lambda|scq-traj|maint|stages|speedup|priority|robust|mpl|cluster|folding|all")
+		exp      = flag.String("exp", "all", "experiment: "+strings.Join(expNames, "|"))
 		seed     = flag.Int64("seed", 1, "random seed")
 		runs     = flag.Int("runs", 0, "runs per data point (0 = experiment default)")
 		rows     = flag.Int("lineitem", 0, "lineitem row count (0 = experiment default)")
@@ -55,6 +84,13 @@ func main() {
 	}
 
 	which := strings.Split(*exp, ",")
+	if bad := unknownExps(which); len(bad) > 0 {
+		for _, w := range bad {
+			fmt.Fprintf(os.Stderr, "mqpi-bench: unknown experiment %q\n", w)
+		}
+		fmt.Fprintf(os.Stderr, "mqpi-bench: valid experiments: %s\n", strings.Join(expNames, ", "))
+		os.Exit(2)
+	}
 	want := func(name string) bool {
 		for _, w := range which {
 			if w == name || w == "all" {
@@ -100,12 +136,10 @@ func main() {
 		return nil
 	}
 
-	ran := 0
 	step := func(name string, f func() error) {
 		if !want(name) {
 			return
 		}
-		ran++
 		start := time.Now()
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "mqpi-bench: %s: %v\n", name, err)
@@ -306,8 +340,20 @@ func main() {
 		return showFig("folding-saved", &res.FigSaved)
 	})
 
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "mqpi-bench: unknown experiment %q\n", *exp)
-		os.Exit(2)
-	}
+	step("calibration", func() error {
+		res, err := experiments.RunCalibration(experiments.CalibrationConfig{
+			Seed: *seed, Data: data, Parallel: *parallel, Workers: *workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(txt, "== Estimator ensemble: uncertainty-band calibration ==")
+		for _, sc := range res.Scenarios {
+			fmt.Fprintf(txt, "  %-9s coverage %5.1f%%  (%d/%d intervals)\n",
+				sc.Name, sc.Coverage*100, sc.Within, sc.Samples)
+		}
+		fmt.Fprintf(txt, "  pooled coverage %.1f%% (%d/%d; acceptance floor 80%%)\n\n",
+			res.Coverage*100, res.Within, res.Samples)
+		return showFig("calibration", &res.Fig)
+	})
 }

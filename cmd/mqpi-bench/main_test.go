@@ -1,0 +1,49 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestUnknownExps pins the -exp validation: a bad name anywhere in the comma
+// list — not just a fully-unknown selector — must be reported, so a typo in
+// "mcq,bogus" can never silently run half a battery and exit 0.
+func TestUnknownExps(t *testing.T) {
+	cases := []struct {
+		which []string
+		bad   []string
+	}{
+		{[]string{"all"}, nil},
+		{[]string{"mcq", "calibration"}, nil},
+		{[]string{"bogus"}, []string{"bogus"}},
+		{[]string{"mcq", "bogus"}, []string{"bogus"}},
+		{[]string{"bogus", "nope", "scq"}, []string{"bogus", "nope"}},
+		{[]string{""}, []string{""}},
+	}
+	for _, c := range cases {
+		if got := unknownExps(c.which); !reflect.DeepEqual(got, c.bad) {
+			t.Errorf("unknownExps(%q) = %q, want %q", c.which, got, c.bad)
+		}
+	}
+}
+
+// TestExpNamesCoverSteps: every name is non-empty and unique, and "all" is
+// present — the selector the default invocation depends on.
+func TestExpNamesCoverSteps(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, n := range expNames {
+		if n == "" {
+			t.Error("empty experiment name")
+		}
+		if seen[n] {
+			t.Errorf("duplicate experiment name %q", n)
+		}
+		seen[n] = true
+	}
+	if !seen["all"] {
+		t.Error("expNames is missing \"all\"")
+	}
+	if !seen["calibration"] {
+		t.Error("expNames is missing \"calibration\"")
+	}
+}

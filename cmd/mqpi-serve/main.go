@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"mqpi/internal/cluster"
+	"mqpi/internal/core"
 	"mqpi/internal/engine"
 	"mqpi/internal/sched"
 	"mqpi/internal/service"
@@ -52,7 +53,12 @@ type options struct {
 	admitQueue   bool
 	fold         bool
 	foldMinPages int
+	estimator    string
 }
+
+// version identifies the build on the mqpi_build_info gauge; release builds
+// override it via -ldflags "-X main.version=...".
+var version = "dev"
 
 func parseFlags(args []string) (options, error) {
 	var o options
@@ -75,6 +81,7 @@ func parseFlags(args []string) (options, error) {
 	fs.BoolVar(&o.admitQueue, "admit-queue", false, "queue over-rate submissions as delayed arrivals instead of rejecting with 429")
 	fs.BoolVar(&o.fold, "fold", false, "fold same-table same-priority seq scans onto one shared cursor (charged progress is unchanged; only engine cost drops)")
 	fs.IntVar(&o.foldMinPages, "fold-min-pages", 0, "smallest table (heap pages) eligible for scan folding (0 = default floor)")
+	fs.StringVar(&o.estimator, "estimator", core.EstimatorStage, "estimate plane: "+strings.Join(core.EstimatorModes(), "|")+" (ensemble blends members online and reports eta_low/eta_high bands)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -93,7 +100,21 @@ func parseFlags(args []string) (options, error) {
 	if err := cluster.ValidRouting(o.routing); err != nil {
 		return o, err
 	}
+	if err := core.ValidEstimator(o.estimator); err != nil {
+		return o, err
+	}
 	return o, nil
+}
+
+// buildInfoLabels are the static labels on the mqpi_build_info gauge — enough
+// to identify a deployed shard from its metrics page alone.
+func buildInfoLabels(o options) map[string]string {
+	return map[string]string{
+		"version":    version,
+		"go_version": runtime.Version(),
+		"estimator":  o.estimator,
+		"routing":    o.routing,
+	}
 }
 
 // openDemo builds one engine, optionally preloaded with the demo dataset.
@@ -127,7 +148,9 @@ func buildServer(o options) (interface{ Close() }, http.Handler, error) {
 		TimeScale:    o.timeScale,
 		EventCap:     o.eventCap,
 		ExecDeadline: o.execDeadline,
+		Estimator:    o.estimator,
 	}
+	info := buildInfoLabels(o)
 	if o.shards > 1 || o.admitRate > 0 {
 		var dbErr error
 		c, err := cluster.New(cluster.Config{
@@ -153,6 +176,10 @@ func buildServer(o options) (interface{ Close() }, http.Handler, error) {
 			c.Close()
 			return nil, nil, dbErr
 		}
+		c.Metrics().SetBuildInfo(info)
+		for i := 0; i < c.Shards(); i++ {
+			c.Shard(i).Metrics().SetBuildInfo(info)
+		}
 		return c, cluster.NewHandler(c), nil
 	}
 	db, err := openDemo(o)
@@ -160,6 +187,7 @@ func buildServer(o options) (interface{ Close() }, http.Handler, error) {
 		return nil, nil, err
 	}
 	m := service.New(db, svcCfg)
+	m.Metrics().SetBuildInfo(info)
 	return m, service.NewHandler(m), nil
 }
 
@@ -177,8 +205,8 @@ func run(args []string) error {
 	srv := &http.Server{Addr: o.addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("mqpi-serve listening on %s (C=%g U/s, quantum=%gs, timescale=%g, workers=%d, shards=%d, routing=%s, admit-rate=%g, fold=%v, demo=%v)",
-		o.addr, o.rateC, o.quantum, o.timeScale, o.workers, o.shards, o.routing, o.admitRate, o.fold, o.demo)
+	log.Printf("mqpi-serve listening on %s (C=%g U/s, quantum=%gs, timescale=%g, workers=%d, shards=%d, routing=%s, admit-rate=%g, fold=%v, estimator=%s, demo=%v)",
+		o.addr, o.rateC, o.quantum, o.timeScale, o.workers, o.shards, o.routing, o.admitRate, o.fold, o.estimator, o.demo)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

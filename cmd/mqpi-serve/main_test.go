@@ -143,9 +143,140 @@ func TestParseFlagsRejectsBadValues(t *testing.T) {
 		{"-routing", "random"},
 		{"-admit-rate", "-1"},
 		{"-admit-burst", "-2"},
+		{"-estimator", "oracle"},
 	} {
 		if _, err := parseFlags(args); err == nil {
 			t.Errorf("parseFlags(%v) accepted", args)
+		}
+	}
+}
+
+// TestServeEnsembleSession stands up the binary with -estimator ensemble and
+// checks the uncertainty plane end to end over HTTP: interval fields in
+// /progress, mode + weights in /overview, band annotations in /diagram, and
+// the estimator-weight and build-info gauges in /metrics.
+func TestServeEnsembleSession(t *testing.T) {
+	o, err := parseFlags([]string{
+		"-demo", "-rows", "15000", "-rate", "50",
+		"-timescale", "200", "-tick", "2ms", "-quantum", "0.25",
+		"-estimator", "ensemble",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, handler, err := buildServer(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	ids := make([]int, 0, 3)
+	for i := 1; i <= 3; i++ {
+		sql := fmt.Sprintf(
+			"select * from part_%d p where p.retailprice*0.75 > "+
+				"(select sum(l.extendedprice)/sum(l.quantity) from lineitem l where l.partkey = p.partkey)", i)
+		payload, _ := json.Marshal(map[string]any{"sql": sql, "label": fmt.Sprintf("Q%d", i)})
+		resp, err := http.Post(ts.URL+"/queries", "application/json", strings.NewReader(string(payload)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("submit Q%d: %d %s", i, resp.StatusCode, b)
+		}
+		var v struct {
+			ID int `json:"id"`
+		}
+		if err := json.Unmarshal(b, &v); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+
+	// While running, a query's view must carry a real band around the point.
+	type view struct {
+		Status  string   `json:"status"`
+		Multi   *float64 `json:"multi_query_eta"`
+		ETALow  *float64 `json:"eta_low"`
+		ETAHigh *float64 `json:"eta_high"`
+	}
+	sawBand := false
+	deadline := time.Now().Add(15 * time.Second)
+	for !sawBand {
+		if time.Now().After(deadline) {
+			t.Fatal("never observed a running query with a band")
+		}
+		for _, id := range ids {
+			_, b := get(fmt.Sprintf("/queries/%d", id))
+			var v view
+			if err := json.Unmarshal(b, &v); err != nil {
+				t.Fatalf("progress: %v in %s", err, b)
+			}
+			if v.Status != "running" || v.Multi == nil || v.ETALow == nil || v.ETAHigh == nil {
+				continue
+			}
+			if !(*v.ETALow <= *v.Multi && *v.Multi <= *v.ETAHigh) {
+				t.Fatalf("band [%g,%g] misses point %g: %s", *v.ETALow, *v.ETAHigh, *v.Multi, b)
+			}
+			if *v.ETAHigh > *v.ETALow {
+				sawBand = true
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	_, b := get("/queries")
+	var ov struct {
+		Estimator string             `json:"estimator"`
+		Weights   map[string]float64 `json:"estimator_weights"`
+		Finished  []json.RawMessage  `json:"finished"`
+	}
+	if err := json.Unmarshal(b, &ov); err != nil {
+		t.Fatal(err)
+	}
+	if ov.Estimator != "ensemble" || len(ov.Weights) != 3 {
+		t.Fatalf("overview estimator=%q weights=%v", ov.Estimator, ov.Weights)
+	}
+
+	for {
+		_, b := get("/queries")
+		if err := json.Unmarshal(b, &ov); err != nil {
+			t.Fatal(err)
+		}
+		if len(ov.Finished) == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queries did not finish; overview: %s", b)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	code, b := get("/metrics")
+	if code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, want := range []string{
+		`mqpi_estimator_weight{member="stage"}`,
+		"mqpi_eta_band_finishes_total 3",
+		`mqpi_build_info{estimator="ensemble",go_version=`,
+	} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("metrics missing %q in:\n%s", want, b)
 		}
 	}
 }

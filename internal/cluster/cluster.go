@@ -315,6 +315,10 @@ type ShardOverview struct {
 	Finished     int             `json:"finished"`
 	RemainingU   float64         `json:"remaining_u"`
 	QuiescentETA service.Seconds `json:"quiescent_eta"`
+	// Weights carries the shard's current ensemble blend weights by member
+	// (omitted in stage mode). Shards calibrate independently — each sees
+	// only its own finish residuals — so the weights can legitimately differ.
+	Weights map[string]float64 `json:"estimator_weights,omitempty"`
 }
 
 // GlobalOverview merges the shards' snapshots: per-shard summaries plus the
@@ -323,6 +327,7 @@ type GlobalOverview struct {
 	Shards    []ShardOverview     `json:"shards"`
 	Routing   string              `json:"routing"`
 	AdmitRate float64             `json:"admit_rate"`
+	Estimator string              `json:"estimator"` // estimate-plane mode, identical on every shard
 	Running   []service.QueryView `json:"running"`
 	Queued    []service.QueryView `json:"queued"`
 	Scheduled []service.QueryView `json:"scheduled"`
@@ -340,12 +345,14 @@ func (c *Cluster) Overview() (GlobalOverview, error) {
 			return out, fmt.Errorf("cluster: overview shard %d: %w", i, err)
 		}
 		load := m.Load()
+		out.Estimator = ov.Estimator
 		out.Shards = append(out.Shards, ShardOverview{
 			Shard: i, Epoch: ov.Epoch, Now: ov.Now,
 			Running: len(ov.Running), Queued: len(ov.Queued),
 			Scheduled: len(ov.Scheduled), Finished: len(ov.Finished),
 			RemainingU:   load.RemainingU,
 			QuiescentETA: ov.QuiescentETA,
+			Weights:      ov.Weights,
 		})
 		out.Running = append(out.Running, c.reID(i, ov.Running)...)
 		out.Queued = append(out.Queued, c.reID(i, ov.Queued)...)

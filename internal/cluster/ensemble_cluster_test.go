@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"mqpi/internal/core"
+	"mqpi/internal/service"
+)
+
+// TestClusterEnsembleOverview: with an ensemble-mode service config, the
+// merged overview must expose the estimator mode, per-shard blend weights,
+// and per-query uncertainty bands that survive the reID merge intact.
+func TestClusterEnsembleOverview(t *testing.T) {
+	c := manualCluster(t, Config{
+		Shards:  2,
+		Service: service.Config{Estimator: core.EstimatorEnsemble},
+	}, 4)
+	for i := 0; i < 4; i++ {
+		submit(t, c, fmt.Sprintf("q%d", i))
+	}
+	if err := c.Advance(1); err != nil {
+		t.Fatal(err)
+	}
+	ov, err := c.Overview()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.Estimator != core.EstimatorEnsemble {
+		t.Fatalf("overview estimator = %q", ov.Estimator)
+	}
+	if len(ov.Shards) != 2 {
+		t.Fatalf("%d shard summaries, want 2", len(ov.Shards))
+	}
+	for i, s := range ov.Shards {
+		if len(s.Weights) != 3 {
+			t.Errorf("shard %d weights = %v, want all three members", i, s.Weights)
+		}
+	}
+	if len(ov.Running) == 0 {
+		t.Fatal("no running queries in the merged overview")
+	}
+	for _, v := range ov.Running {
+		lo, point, hi := float64(v.ETALow), float64(v.MultiETA), float64(v.ETAHigh)
+		if !(lo <= point && point <= hi) {
+			t.Fatalf("Q%d band [%g,%g] misses point %g", v.ID, lo, hi, point)
+		}
+		if point > 0 && hi-lo <= 0 {
+			t.Fatalf("Q%d ensemble band degenerate: %+v", v.ID, v)
+		}
+	}
+}
+
+// TestClusterStageOverviewInert: the default stage mode reports itself and no
+// weights — the merged overview surface is unchanged until opted in.
+func TestClusterStageOverviewInert(t *testing.T) {
+	c := manualCluster(t, Config{Shards: 2}, 2)
+	submit(t, c, "q0")
+	ov, err := c.Overview()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.Estimator != core.EstimatorStage {
+		t.Fatalf("overview estimator = %q", ov.Estimator)
+	}
+	for i, s := range ov.Shards {
+		if s.Weights != nil {
+			t.Errorf("shard %d exposes weights %v in stage mode", i, s.Weights)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -16,6 +17,8 @@ type Metrics struct {
 	delayed        uint64   // queue-mode admissions that borrowed a token
 	delaySum       float64  // total borrowed wait, virtual seconds
 	execBroadcasts uint64   // DDL/DML statements fanned out to all shards
+
+	buildInfo map[string]string // static build labels for mqpi_build_info ("" = unset)
 }
 
 func newClusterMetrics(shards int) *Metrics {
@@ -49,6 +52,14 @@ func (m *Metrics) Rejected() uint64 {
 	return m.rejected
 }
 
+// SetBuildInfo installs the static labels rendered on the mqpi_build_info
+// gauge, identifying the binary behind the front door from /metrics alone.
+func (m *Metrics) SetBuildInfo(labels map[string]string) {
+	m.mu.Lock()
+	m.buildInfo = labels
+	m.mu.Unlock()
+}
+
 // Text renders the counters in the Prometheus text exposition format.
 func (m *Metrics) Text() string {
 	m.mu.Lock()
@@ -62,5 +73,21 @@ func (m *Metrics) Text() string {
 	fmt.Fprintf(&b, "# HELP mqpi_cluster_admission_delayed_total Queue-mode admissions that borrowed a token.\n# TYPE mqpi_cluster_admission_delayed_total counter\nmqpi_cluster_admission_delayed_total %d\n", m.delayed)
 	fmt.Fprintf(&b, "# HELP mqpi_cluster_admission_delay_seconds_sum Total borrowed admission wait in virtual seconds.\n# TYPE mqpi_cluster_admission_delay_seconds_sum counter\nmqpi_cluster_admission_delay_seconds_sum %g\n", m.delaySum)
 	fmt.Fprintf(&b, "# HELP mqpi_cluster_exec_broadcast_total DDL/DML statements broadcast to all shards.\n# TYPE mqpi_cluster_exec_broadcast_total counter\nmqpi_cluster_exec_broadcast_total %d\n", m.execBroadcasts)
+	if m.buildInfo != nil {
+		fmt.Fprintf(&b, "# HELP mqpi_build_info Build metadata; the gauge is constant 1 and the labels identify the binary.\n# TYPE mqpi_build_info gauge\n")
+		keys := make([]string, 0, len(m.buildInfo))
+		for k := range m.buildInfo {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("mqpi_build_info{")
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s=%q", k, m.buildInfo[k])
+		}
+		b.WriteString("} 1\n")
+	}
 	return b.String()
 }

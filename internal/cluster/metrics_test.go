@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestClusterBuildInfoExposition: SetBuildInfo renders a constant-1
+// mqpi_build_info gauge with deterministically ordered (sorted) labels, and
+// an unset Metrics omits the gauge entirely instead of rendering an empty
+// label set.
+func TestClusterBuildInfoExposition(t *testing.T) {
+	m := newClusterMetrics(2)
+	if strings.Contains(m.Text(), "mqpi_build_info") {
+		t.Errorf("build info rendered before SetBuildInfo:\n%s", m.Text())
+	}
+	m.SetBuildInfo(map[string]string{"version": "dev", "go": "go1.x", "mode": "cluster"})
+	text := m.Text()
+	want := `mqpi_build_info{go="go1.x",mode="cluster",version="dev"} 1` + "\n"
+	if !strings.Contains(text, want) {
+		t.Errorf("metrics missing %q:\n%s", want, text)
+	}
+	if !strings.Contains(text, "# TYPE mqpi_build_info gauge\n") {
+		t.Errorf("build info gauge missing TYPE line:\n%s", text)
+	}
+}
+
+// TestClusterShardAccessors: the Shards/Shard passthroughs used by
+// mqpi-serve's per-shard wiring expose every underlying manager.
+func TestClusterShardAccessors(t *testing.T) {
+	c := manualCluster(t, Config{Shards: 3}, 1)
+	if c.Shards() != 3 {
+		t.Fatalf("Shards() = %d, want 3", c.Shards())
+	}
+	for i := 0; i < c.Shards(); i++ {
+		if c.Shard(i) == nil {
+			t.Fatalf("Shard(%d) is nil", i)
+		}
+		if _, err := c.Shard(i).Overview(); err != nil {
+			t.Fatalf("Shard(%d).Overview: %v", i, err)
+		}
+	}
+}
+
+// TestValidRouting pins the fail-fast flag validation mqpi-serve relies on.
+func TestValidRouting(t *testing.T) {
+	for _, policy := range RoutingPolicies() {
+		if err := ValidRouting(policy); err != nil {
+			t.Errorf("ValidRouting(%q): %v", policy, err)
+		}
+	}
+	if err := ValidRouting("random"); err == nil {
+		t.Error("ValidRouting accepted unknown policy \"random\"")
+	}
+}

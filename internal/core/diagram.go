@@ -20,6 +20,14 @@ import (
 //	Q4 ▁▁▁▁|▂▂▂|▄▄|█|
 //	    t1   t2  t3 t4
 func StageDiagram(states []QueryState, C float64, width int) string {
+	return StageDiagramBands(states, C, width, nil)
+}
+
+// StageDiagramBands is StageDiagram with per-query uncertainty bands: each
+// finish annotation gains its estimator interval ("finishes at 12.0s
+// ±[10.8,13.4]"). A nil bands map renders byte-identically to StageDiagram —
+// the stage-mode service passes nil, so classic diagrams are unchanged.
+func StageDiagramBands(states []QueryState, C float64, width int, bands map[int]Interval) string {
 	if width <= 0 {
 		width = 60
 	}
@@ -74,6 +82,9 @@ func StageDiagram(states []QueryState, C float64, width int) string {
 			b.WriteByte('|')
 		}
 		fmt.Fprintf(&b, "  finishes at %.1fs", prof.Finish[id])
+		if band, ok := bands[id]; ok && band.High > band.Low {
+			fmt.Fprintf(&b, " ±[%.1f,%.1f]", band.Low, band.High)
+		}
 		if g, ok := foldOf[id]; ok {
 			fmt.Fprintf(&b, "  [fold g%d]", g)
 		}

@@ -11,7 +11,13 @@ type Estimate struct {
 	SingleQuery float64
 	// MultiQuery is the stage-model estimate, aware of the other running
 	// queries, the admission queue, and (optionally) predicted arrivals.
+	// Under an ensemble estimator this is the blended point.
 	MultiQuery float64
+	// ETALow/ETAHigh bound the uncertainty band around MultiQuery. The
+	// classic stage path reports a degenerate band (Low == High == point);
+	// ensemble modes widen it by member spread and calibrated rolling error.
+	ETALow  float64
+	ETAHigh float64
 }
 
 // EstimateInput is the pure-value input to ComputeEstimates: everything the
@@ -35,6 +41,12 @@ type EstimateInput struct {
 type Estimates struct {
 	PerQuery  map[int]Estimate
 	Quiescent float64
+	// Weights maps ensemble member name to its blend weight for this pass
+	// (nil on the classic stage path, which runs no ensemble).
+	Weights map[string]float64
+	// members holds each member's raw per-query ETA (index order follows
+	// MemberNames); only ensemble modes fill it, for calibration accounting.
+	members [numMembers]map[int]float64
 }
 
 // ComputeEstimates computes the full estimate bundle from one immutable
@@ -128,9 +140,12 @@ func bundleEstimates(running, queued []QueryState, speeds map[int]float64, multi
 	out := make(map[int]Estimate, len(running)+len(queued))
 	add := func(states []QueryState) {
 		for _, q := range states {
+			m := multi[q.ID]
 			out[q.ID] = Estimate{
 				SingleQuery: SingleQueryRemainingTime(q.Remaining, speeds[q.ID]),
-				MultiQuery:  multi[q.ID],
+				MultiQuery:  m,
+				ETALow:      m,
+				ETAHigh:     m,
 			}
 		}
 	}

@@ -474,3 +474,53 @@ func TestProfileSharedStages(t *testing.T) {
 		t.Errorf("solo profile has Shared = %v", p.Shared)
 	}
 }
+
+// TestSimulateProfileBoundaries pins the simulator's degenerate corners,
+// where the event loop never takes a step or takes zero-length ones: an
+// empty system, zero-cost queries on both sides of the admission fence, and
+// the single-query case, which must agree with the closed form exactly.
+func TestSimulateProfileBoundaries(t *testing.T) {
+	// Empty system: no running set, no queue. No stages, no finishes, zero
+	// quiescent time — and no panic from an empty event heap.
+	p := SimulateProfile(nil, 100, SimOptions{})
+	if len(p.Order) != 0 || len(p.Finish) != 0 || p.QuiescentTime() != 0 {
+		t.Errorf("empty system profile: %+v", p)
+	}
+	p = SimulateProfile([]QueryState{}, 100, SimOptions{MPL: 2, Queued: []QueryState{}})
+	if len(p.Order) != 0 || len(p.Finish) != 0 || p.QuiescentTime() != 0 {
+		t.Errorf("empty running + empty queue profile: %+v", p)
+	}
+
+	// Queue only: with every slot free, the queue drains from time 0 even
+	// though nothing was running when the simulation started.
+	p = SimulateProfile(nil, 100, SimOptions{MPL: 1, Queued: []QueryState{{ID: 7, Remaining: 200, Weight: 1}}})
+	if !almostEq(p.Finish[7], 2) {
+		t.Errorf("queue-only finish = %g, want 2", p.Finish[7])
+	}
+
+	// Zero-cost queries finish at time 0 on both sides of the admission
+	// fence and add nothing to anyone else's estimate.
+	p = SimulateProfile([]QueryState{
+		{ID: 1, Remaining: 0, Weight: 1},
+		{ID: 2, Remaining: 50, Weight: 1},
+	}, 100, SimOptions{MPL: 2, Queued: []QueryState{{ID: 3, Remaining: 0, Weight: 1}}})
+	if !almostEq(p.Finish[1], 0) || !almostEq(p.Finish[3], 0) {
+		t.Errorf("zero-cost finishes: running %g, queued %g, want 0 and 0", p.Finish[1], p.Finish[3])
+	}
+	if !almostEq(p.Finish[2], 0.5) {
+		t.Errorf("peer of zero-cost queries finishes at %g, want 0.5", p.Finish[2])
+	}
+
+	// Single quiescent query: simulation and closed form agree on the finish
+	// and on the quiescent time, which is just c/C at full capacity.
+	states := []QueryState{{ID: 1, Remaining: 123, Weight: 2}}
+	sim := SimulateProfile(states, 10, SimOptions{})
+	closed := ComputeProfile(states, 10)
+	if !almostEq(sim.Finish[1], closed.Finish[1]) {
+		t.Errorf("single query: sim %g vs closed %g", sim.Finish[1], closed.Finish[1])
+	}
+	if !almostEq(sim.QuiescentTime(), closed.QuiescentTime()) || !almostEq(sim.QuiescentTime(), 12.3) {
+		t.Errorf("single-query quiescent: sim %g, closed %g, want 12.3",
+			sim.QuiescentTime(), closed.QuiescentTime())
+	}
+}

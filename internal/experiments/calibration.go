@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"mqpi/internal/core"
+	"mqpi/internal/metrics"
+	"mqpi/internal/sched"
+	"mqpi/internal/service"
+	"mqpi/internal/workload"
+)
+
+// CalibrationConfig configures the estimator-band calibration sweep: seven
+// scenarios shaped like the paper's evaluation settings (concurrent batch,
+// queued admission, staggered arrivals, weighted priorities, a blocked
+// query), each driven through a full service.Manager running the ensemble
+// estimate plane on a manual clock. At a fixed cadence the sweep records
+// every live query's reported uncertainty interval [now+eta_low, now+eta_high]
+// and, once the workload drains, scores each interval against the query's
+// true finish time. Coverage is the fraction of intervals that contained it —
+// the number a band is FOR; a well-calibrated default band must keep it high
+// without ballooning the interval width.
+type CalibrationConfig struct {
+	Seed    int64
+	RateC   float64 // default 100
+	Quantum float64 // default 0.5
+	// SampleEvery is the virtual-time cadence of band observations (default 5).
+	SampleEvery float64
+	// Estimator is the estimate plane under test (default ensemble; stage
+	// would trivially score its degenerate bands).
+	Estimator string
+	// Workers sets the scheduler's execute-phase worker count
+	// (0/1 = inline serial). Results are bit-identical at every setting.
+	Workers int
+	Data    workload.DataConfig
+
+	// Parallel caps the worker goroutines running independent scenarios:
+	// 0 = GOMAXPROCS, 1 = sequential. Output is identical at every setting.
+	Parallel int
+}
+
+func (c CalibrationConfig) withDefaults() CalibrationConfig {
+	if c.RateC <= 0 {
+		c.RateC = 100
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 0.5
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 5
+	}
+	if c.Estimator == "" {
+		c.Estimator = core.EstimatorEnsemble
+	}
+	if c.Data.Seed == 0 {
+		c.Data.Seed = c.Seed
+	}
+	return c
+}
+
+// CalibrationScenario is one scenario's coverage scorecard.
+type CalibrationScenario struct {
+	Name     string
+	Samples  int     // scored intervals (finite-band observations of finishers)
+	Within   int     // intervals that contained the true finish time
+	Coverage float64 // Within / Samples
+}
+
+// CalibrationResult aggregates band coverage across the scenario battery.
+type CalibrationResult struct {
+	Scenarios []CalibrationScenario
+	Samples   int
+	Within    int
+	Coverage  float64 // pooled over all scenarios
+	// Fig plots per-scenario coverage (x = scenario index, in battery order).
+	Fig metrics.Figure
+}
+
+type calSubmit struct {
+	n        int     // part-table size parameter N of the paper query
+	priority int     // 0 low / 1 medium / 2 high (weights 1/2/4)
+	delay    float64 // virtual seconds before the query enters the system
+}
+
+type calAction struct {
+	at     float64
+	kind   string // "block" | "unblock"
+	target int    // submission index the action aims at
+}
+
+type calScenario struct {
+	name    string
+	mpl     int
+	submits []calSubmit
+	actions []calAction
+}
+
+// calScenarios is the battery: one scenario per evaluation regime the paper
+// sweeps, at sizes small enough that the whole battery stays a smoke-testable
+// few virtual minutes.
+func calScenarios() []calScenario {
+	return []calScenario{
+		// MCQ: a concurrent batch of unequal queries, no queue.
+		{name: "mcq", submits: []calSubmit{{n: 8}, {n: 16}, {n: 24}}},
+		// NAQ: MPL 2 with a third query waiting in the admission queue.
+		{name: "naq", mpl: 2, submits: []calSubmit{{n: 24}, {n: 6}, {n: 10}}},
+		// SCQ: a deep FIFO backlog draining through two slots.
+		{name: "scq", mpl: 2, submits: []calSubmit{{n: 10}, {n: 8}, {n: 12}, {n: 6}, {n: 9}, {n: 7}}},
+		// Weighted priorities (Assumption 3): same sizes, different shares.
+		{name: "priority", submits: []calSubmit{{n: 10, priority: 2}, {n: 10, priority: 1}, {n: 10}, {n: 12, priority: 1}}},
+		// Staggered arrivals: later queries dilute the shares of earlier ones.
+		{name: "arrivals", submits: []calSubmit{{n: 12}, {n: 10, delay: 15}, {n: 8, delay: 30}}},
+		// MPL sweep regime: a wider batch over three slots.
+		{name: "mpl", mpl: 3, submits: []calSubmit{{n: 6}, {n: 8}, {n: 10}, {n: 5}, {n: 7}, {n: 9}, {n: 6}, {n: 8}}},
+		// Perturbation: a mid-run block/unblock invalidates earlier bands for
+		// the victim and shifts everyone else's shares.
+		{name: "perturb", submits: []calSubmit{{n: 10}, {n: 12}, {n: 8}},
+			actions: []calAction{{at: 10, kind: "block", target: 1}, {at: 40, kind: "unblock", target: 1}}},
+	}
+}
+
+// calMaxSteps caps one scenario's advance loop; at the default quantum it is
+// hours of virtual time, far past any sane drain, so hitting it means a hang.
+const calMaxSteps = 40000
+
+type calCell struct {
+	samples, within int
+}
+
+// RunCalibration runs the battery and scores band coverage.
+func RunCalibration(cfg CalibrationConfig) (*CalibrationResult, error) {
+	cfg = cfg.withDefaults()
+	if err := core.ValidEstimator(cfg.Estimator); err != nil {
+		return nil, err
+	}
+	scenarios := calScenarios()
+	cells, err := runIndexed(cfg.Parallel, len(scenarios), func(i int) (calCell, error) {
+		return runCalScenario(cfg, int64(i), scenarios[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &CalibrationResult{
+		Fig: metrics.Figure{
+			Title:  "Estimator ensemble: uncertainty-band coverage per scenario",
+			XLabel: "scenario (battery order: mcq naq scq priority arrivals mpl perturb)",
+			YLabel: "fraction of intervals containing the true finish",
+		},
+	}
+	s := res.Fig.AddSeries("band coverage")
+	for i, cell := range cells {
+		cov := 0.0
+		if cell.samples > 0 {
+			cov = float64(cell.within) / float64(cell.samples)
+		}
+		res.Scenarios = append(res.Scenarios, CalibrationScenario{
+			Name: scenarios[i].name, Samples: cell.samples, Within: cell.within, Coverage: cov,
+		})
+		res.Samples += cell.samples
+		res.Within += cell.within
+		s.Add(float64(i+1), cov)
+	}
+	if res.Samples == 0 {
+		return nil, fmt.Errorf("experiments: calibration scored no intervals; the battery is vacuous")
+	}
+	res.Coverage = float64(res.Within) / float64(res.Samples)
+	return res, nil
+}
+
+// runCalScenario drives one scenario through a manual-clock service.Manager
+// and returns its interval scorecard.
+func runCalScenario(cfg CalibrationConfig, off int64, sc calScenario) (calCell, error) {
+	ds, err := workload.SharedCache().HydrateSeeded(cfg.Data, datasetSeed(cfg.Seed, off*7919))
+	if err != nil {
+		return calCell{}, err
+	}
+	for i, sub := range sc.submits {
+		if err := ds.CreatePartTable(i+1, sub.n); err != nil {
+			return calCell{}, err
+		}
+	}
+	m := service.New(ds.DB, service.Config{
+		Sched: sched.Config{
+			RateC: cfg.RateC, MPL: sc.mpl, Quantum: cfg.Quantum, Workers: cfg.Workers,
+			Weights: map[int]float64{0: 1, 1: 2, 2: 4},
+		},
+		TickEvery: -1, // manual clock: virtual time moves only through Advance
+		Estimator: cfg.Estimator,
+	})
+	defer m.Close()
+
+	ids := make([]int, len(sc.submits))
+	for i, sub := range sc.submits {
+		v, err := m.Submit(service.SubmitRequest{
+			Label:    fmt.Sprintf("%s-q%d", sc.name, i+1),
+			SQL:      workload.QuerySQL(i + 1),
+			Priority: sub.priority,
+			Delay:    sub.delay,
+		})
+		if err != nil {
+			return calCell{}, err
+		}
+		ids[i] = v.ID
+	}
+
+	type interval struct {
+		id     int
+		lo, hi float64 // absolute virtual-time bounds on the finish
+	}
+	var preds []interval
+	acted := make([]bool, len(sc.actions))
+	nextSample := 0.0
+	for step := 0; ; step++ {
+		if step >= calMaxSteps {
+			return calCell{}, fmt.Errorf("experiments: calibration scenario %s did not drain in %d steps", sc.name, calMaxSteps)
+		}
+		ov, err := m.Overview()
+		if err != nil {
+			return calCell{}, err
+		}
+		for i, a := range sc.actions {
+			if acted[i] || ov.Now+1e-9 < a.at {
+				continue
+			}
+			acted[i] = true
+			switch a.kind {
+			case "block":
+				err = m.Block(ids[a.target])
+			case "unblock":
+				err = m.Unblock(ids[a.target])
+			default:
+				err = fmt.Errorf("experiments: unknown calibration action %q", a.kind)
+			}
+			if err != nil {
+				return calCell{}, fmt.Errorf("experiments: calibration %s action %s: %w", sc.name, a.kind, err)
+			}
+		}
+		if ov.Now+1e-9 >= nextSample {
+			nextSample = ov.Now + cfg.SampleEvery
+			for _, v := range append(append([]service.QueryView(nil), ov.Running...), ov.Queued...) {
+				lo, hi := float64(v.ETALow), float64(v.ETAHigh)
+				// Infinite bands (blocked queries) contain every finish
+				// trivially; scoring them would inflate coverage.
+				if math.IsNaN(lo) || math.IsInf(hi, 0) {
+					continue
+				}
+				preds = append(preds, interval{id: v.ID, lo: ov.Now + lo, hi: ov.Now + hi})
+			}
+		}
+		if len(ov.Running) == 0 && len(ov.Queued) == 0 && len(ov.Scheduled) == 0 {
+			break
+		}
+		if err := m.Advance(cfg.Quantum); err != nil {
+			return calCell{}, err
+		}
+	}
+
+	ov, err := m.Overview()
+	if err != nil {
+		return calCell{}, err
+	}
+	finish := make(map[int]float64, len(ids))
+	for _, v := range ov.Finished {
+		if v.Status == "failed" {
+			return calCell{}, fmt.Errorf("experiments: calibration query %s failed: %s", v.Label, v.Err)
+		}
+		finish[v.ID] = v.FinishTime
+	}
+	if len(finish) != len(ids) {
+		return calCell{}, fmt.Errorf("experiments: calibration scenario %s finished %d of %d queries", sc.name, len(finish), len(ids))
+	}
+
+	// Score every recorded interval against the true finish, with one tick of
+	// quantization slack: finishes are stamped at segment ends, so no band
+	// read a tick earlier can resolve finer than the quantum.
+	cell := calCell{}
+	eps := cfg.Quantum
+	for _, p := range preds {
+		t := finish[p.id]
+		cell.samples++
+		if p.lo-eps <= t && t <= p.hi+eps {
+			cell.within++
+		}
+	}
+	return cell, nil
+}

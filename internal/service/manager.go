@@ -93,6 +93,13 @@ type Config struct {
 	// Arrivals optionally switches the multi-query estimates to the §2.4
 	// future-aware form.
 	Arrivals *core.ArrivalModel
+	// Estimator selects the estimate plane: "stage" (default) is the classic
+	// single-pipeline stage model, bit-identical to the pre-ensemble path;
+	// "cost"/"speed" force a single ensemble member; "ensemble" blends all
+	// members online by observed rolling error and reports uncertainty bands.
+	// Must be one of core.EstimatorModes (New panics otherwise — the HTTP and
+	// flag layers validate first).
+	Estimator string
 }
 
 func (c Config) withDefaults() Config {
@@ -127,14 +134,14 @@ type Manager struct {
 	// mutation; pollers load it and share per-epoch estimates via cache.
 	snap  atomic.Pointer[Snapshot]
 	cache estimateCache
-	// readEst is the read path's maintained incremental stage structure:
-	// successive epochs over a slowly changing mix refill the estimate cache
-	// in O(changed·log n) instead of re-sorting everything. The singleflight
-	// cache already collapses concurrent pollers of one epoch to one compute,
-	// but a straggler holding the previous epoch may compute concurrently, so
-	// readMu serializes access to the structure.
+	// readEst is the read path's estimator. Its stage member maintains an
+	// incremental stage structure: successive epochs over a slowly changing
+	// mix refill the estimate cache in O(changed·log n) instead of re-sorting
+	// everything. The singleflight cache already collapses concurrent pollers
+	// of one epoch to one compute, but a straggler holding the previous epoch
+	// may compute concurrently, so readMu serializes access to the structure.
 	readMu  sync.Mutex
-	readEst core.IncrementalEstimator
+	readEst core.Estimator
 
 	// Owner-goroutine state: only the loop goroutine may touch these.
 	db         *engine.DB
@@ -144,10 +151,18 @@ type Manager struct {
 	lastFinish map[int]float64     // query -> last predicted absolute finish time
 	queuedSet  map[int]bool        // queries last seen in the admission queue
 	schedSet   map[int]bool        // queries still waiting as future arrivals
-	// ownerEst is the owner goroutine's incremental stage structure, backing
-	// the per-tick estimate pass (afterTick → estimates) the same way readEst
+	// ownerEst is the owner goroutine's estimator instance, backing the
+	// per-tick estimate pass (afterTick → estimates) the same way readEst
 	// backs the poller cache.
-	ownerEst core.IncrementalEstimator
+	ownerEst core.Estimator
+	// calib accumulates finish-time residuals and band coverage for the
+	// ensemble blender; nil in stage mode, where no calibration runs and the
+	// estimate path is the classic pipeline verbatim.
+	calib *core.EnsembleCalib
+	// calibState is the immutable calibration state as of the last
+	// publication, shared with the snapshot so the read path's estimates stay
+	// pure functions of the snapshot. Always zero in stage mode.
+	calibState core.EnsembleState
 }
 
 // New creates a manager over db and starts its owner goroutine.
@@ -175,6 +190,16 @@ func New(db *engine.DB, cfg Config) *Manager {
 	}
 	if m.cfg.RevisionEpsilon <= 0 {
 		m.cfg.RevisionEpsilon = m.srv.Quantum()
+	}
+	ownerEst, err := core.NewEstimator(cfg.Estimator)
+	if err != nil {
+		panic(err) // flag/HTTP layers validate; reaching here is a programming error
+	}
+	readEst, _ := core.NewEstimator(cfg.Estimator)
+	m.ownerEst, m.readEst = ownerEst, readEst
+	if mode := ownerEst.Mode(); mode != core.EstimatorStage {
+		m.calib = core.NewEnsembleCalib()
+		m.metrics.setEstimator(mode)
 	}
 	m.srv.OnFinish(m.onFinish)
 	m.metrics.setWorkers(m.srv.Workers())
@@ -276,12 +301,19 @@ func (m *Manager) callDeadline(f func(), d time.Duration) error {
 // goroutine only (called from New before the loop starts, then from the loop).
 func (m *Manager) publish() {
 	m.epoch++
+	if m.calib != nil {
+		// An immutable copy per publication: the owner keeps mutating the
+		// accumulator, but this epoch's readers must all see the same state.
+		m.calibState = m.calib.State()
+	}
 	m.snap.Store(&Snapshot{
 		Epoch:     m.epoch,
 		Published: time.Now(),
 		Sched:     m.srv.Snapshot(),
 		TimeScale: m.cfg.TimeScale,
 		Arrivals:  m.cfg.Arrivals,
+		Estimator: m.ownerEst.Mode(),
+		Calib:     m.calibState,
 	})
 }
 
@@ -304,8 +336,8 @@ func (m *Manager) estimatesFor(snap *Snapshot) viewEstimates {
 	est, hit := m.cache.get(snap.Epoch, func() viewEstimates {
 		m.readMu.Lock()
 		defer m.readMu.Unlock()
-		out := m.readEst.Estimates(snap.estimateInput())
-		return viewEstimates{perQuery: out.PerQuery, quiescent: out.Quiescent}
+		out := m.readEst.Estimates(snap.estimateInput(), snap.Calib)
+		return viewEstimates{perQuery: out.PerQuery, quiescent: out.Quiescent, weights: out.Weights}
 	})
 	if hit {
 		m.metrics.incCacheHit()
@@ -366,9 +398,15 @@ func (m *Manager) onFinish(q *sched.Query) {
 	}
 	delete(m.lastFinish, info.ID)
 	if info.Status == sched.StatusFailed {
+		if m.calib != nil {
+			m.calib.Forget(info.ID) // a failure is not an ETA residual
+		}
 		m.metrics.incFailed()
 		m.events.add(info.FinishTime, info.ID, EventFailed, info.Err)
 		return
+	}
+	if m.calib != nil {
+		m.calib.Finish(info.ID, info.FinishTime)
 	}
 	m.metrics.incFinished()
 	m.events.add(info.FinishTime, info.ID, EventFinished,
@@ -385,7 +423,16 @@ func (m *Manager) afterTick() {
 	// the estimate_revised events appended here must land in the event log in
 	// the same order on every run (and at every worker count) for /events to
 	// be deterministic.
-	est := m.estimates()
+	in := m.estimateInput()
+	bundle := m.ownerEst.Estimates(in, m.ownerCalibState())
+	if m.calib != nil {
+		// Fold this pass into the calibration state: per-query speed EWMAs,
+		// each member's absolute predicted finish, and the reported band.
+		m.calib.Observe(now, in, bundle)
+		within, finishes := m.calib.Coverage()
+		m.metrics.setEstimatorStats(bundle.Weights, within, finishes)
+	}
+	est := bundle.PerQuery
 	ids := make([]int, 0, len(est))
 	for id := range est {
 		ids = append(ids, id)
@@ -467,18 +514,34 @@ func (m *Manager) updateDepths() {
 // legacy EstimateAll, which shares the same empty-queue fast path). Owner
 // goroutine only.
 func (m *Manager) estimates() map[int]core.Estimate {
+	return m.ownerEst.Estimates(m.estimateInput(), m.ownerCalibState()).PerQuery
+}
+
+// estimateInput assembles the pure-value estimator input from the live
+// scheduler state. Owner goroutine only.
+func (m *Manager) estimateInput() core.EstimateInput {
 	speeds := make(map[int]float64)
 	for _, q := range m.srv.Running() {
 		speeds[q.ID] = q.ObservedSpeed()
 	}
-	return m.ownerEst.Estimates(core.EstimateInput{
+	return core.EstimateInput{
 		Running:  m.srv.StateRunning(),
 		Queued:   m.srv.StateQueued(),
 		MPL:      m.srv.MPL(),
 		RateC:    m.srv.RateC(),
 		Speeds:   speeds,
 		Arrivals: m.cfg.Arrivals,
-	}).PerQuery
+	}
+}
+
+// ownerCalibState exports the calibration accumulator's current state for an
+// owner-side estimate pass (the zero state in stage mode, where no
+// calibration runs). Owner goroutine only.
+func (m *Manager) ownerCalibState() core.EnsembleState {
+	if m.calib == nil {
+		return core.EnsembleState{}
+	}
+	return m.calib.State()
 }
 
 // SubmitRequest describes one query submission.
@@ -592,6 +655,8 @@ func (m *Manager) Overview() (Overview, error) {
 		Workers:      snap.Sched.Workers,
 		TimeScale:    snap.TimeScale,
 		Fold:         foldView(&snap.Sched),
+		Estimator:    snap.Estimator,
+		Weights:      est.weights,
 		QuiescentETA: Seconds(est.quiescent),
 	}
 	for _, info := range snap.Sched.Running {
@@ -664,6 +729,9 @@ func (m *Manager) op(id int, kind string) error {
 				delete(m.lastFinish, id)
 				delete(m.queuedSet, id)
 				delete(m.schedSet, id)
+				if m.calib != nil {
+					m.calib.Forget(id) // an abort is not an ETA residual
+				}
 				m.events.add(m.srv.Now(), id, EventAborted, "")
 				// Aborting an admitted query frees its MPL slot and the
 				// scheduler refills from the queue synchronously; record the
@@ -719,7 +787,20 @@ func (m *Manager) Diagram(width int) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return core.StageDiagram(snap.Sched.StatesRunning(), snap.Sched.RateC, width), nil
+	// Non-stage modes annotate each finish with its uncertainty band; stage
+	// mode passes nil bands, rendering byte-identically to the classic
+	// diagram (the sim traces embed diagrams, so this is load-bearing).
+	var bands map[int]core.Interval
+	if snap.Estimator != core.EstimatorStage {
+		est := m.estimatesFor(snap)
+		bands = make(map[int]core.Interval, len(est.perQuery))
+		for id, e := range est.perQuery {
+			if !math.IsInf(e.ETAHigh, 0) && !math.IsNaN(e.ETALow) {
+				bands[id] = core.Interval{Low: e.ETALow, High: e.ETAHigh}
+			}
+		}
+	}
+	return core.StageDiagramBands(snap.Sched.StatesRunning(), snap.Sched.RateC, width, bands), nil
 }
 
 // SpeedUpSingle runs the §3.1 planner: the h best victims to block so that

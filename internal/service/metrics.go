@@ -3,9 +3,12 @@ package service
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+
+	"mqpi/internal/core"
 )
 
 // histogram is a fixed-bucket histogram in the Prometheus style: counts[i]
@@ -63,6 +66,13 @@ type Metrics struct {
 	foldGroups     int    // live fold groups
 	foldMembers    int    // live attached members
 
+	estimatorMode    string             // non-stage estimate-plane mode ("" = stage, no ensemble)
+	estimatorWeights map[string]float64 // last published blend weights by member
+	bandWithin       uint64             // finishes whose true time fell inside the reported band
+	bandFinishes     uint64             // finishes with a reported band
+
+	buildInfo map[string]string // static build labels for mqpi_build_info ("" = unset)
+
 	runningDepth   int
 	blockedDepth   int
 	queuedDepth    int
@@ -111,6 +121,35 @@ func (m *Metrics) advanceBackstopCount() uint64 {
 }
 
 func (m *Metrics) setWorkers(n int) { m.mu.Lock(); m.workers = n; m.mu.Unlock() }
+
+// setEstimator records the non-stage estimate-plane mode; the ensemble
+// weight gauges and band-coverage counters are exposed only once this is set
+// (stage mode runs no ensemble, and its exposition stays byte-stable).
+func (m *Metrics) setEstimator(mode string) {
+	m.mu.Lock()
+	m.estimatorMode = mode
+	m.mu.Unlock()
+}
+
+// setEstimatorStats installs the latest ensemble blend weights and the
+// lifetime band-coverage counters. The counter inputs are absolute totals
+// maintained by the calibration accumulator, so the exposed counters stay
+// Prometheus-monotonic.
+func (m *Metrics) setEstimatorStats(weights map[string]float64, within, finishes uint64) {
+	m.mu.Lock()
+	m.estimatorWeights = weights
+	m.bandWithin, m.bandFinishes = within, finishes
+	m.mu.Unlock()
+}
+
+// SetBuildInfo installs the static labels rendered on the mqpi_build_info
+// gauge (version, go runtime, ...), identifying the binary from /metrics
+// alone. Call once at startup, before the first scrape.
+func (m *Metrics) SetBuildInfo(labels map[string]string) {
+	m.mu.Lock()
+	m.buildInfo = labels
+	m.mu.Unlock()
+}
 
 // setFoldStats installs the scheduler's folding summary. The counter inputs
 // are lifetime totals maintained by the fold registry (monotonic across
@@ -216,6 +255,30 @@ func (m *Metrics) Text() string {
 	writeScalar(&b, "mqpi_fold_groups", "gauge", "Live shared-scan groups.", float64(m.foldGroups))
 	writeScalar(&b, "mqpi_fold_members", "gauge", "Queries currently riding a shared cursor.", float64(m.foldMembers))
 	writeScalar(&b, "mqpi_advance_backstop_total", "counter", "Advances truncated by MaxTicksPerAdvance; the residual virtual-time debt is carried into later advances.", float64(m.advanceBackstops))
+	if m.estimatorMode != "" {
+		fmt.Fprintf(&b, "# HELP mqpi_estimator_weight Current ensemble blend weight per estimator member.\n# TYPE mqpi_estimator_weight gauge\n")
+		for _, it := range core.SortedWeights(m.estimatorWeights) {
+			fmt.Fprintf(&b, "mqpi_estimator_weight{member=%q} %s\n", it.Member, fmtFloat(it.Weight))
+		}
+		writeScalar(&b, "mqpi_eta_band_finishes_total", "counter", "Query finishes for which an uncertainty band had been reported.", float64(m.bandFinishes))
+		writeScalar(&b, "mqpi_eta_band_within_total", "counter", "Query finishes whose true finish time fell inside the reported band.", float64(m.bandWithin))
+	}
+	if m.buildInfo != nil {
+		fmt.Fprintf(&b, "# HELP mqpi_build_info Build metadata; the gauge is constant 1 and the labels identify the binary.\n# TYPE mqpi_build_info gauge\n")
+		keys := make([]string, 0, len(m.buildInfo))
+		for k := range m.buildInfo {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("mqpi_build_info{")
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s=%q", k, m.buildInfo[k])
+		}
+		b.WriteString("} 1\n")
+	}
 	if m.snapshotInfo != nil {
 		epoch, age := m.snapshotInfo()
 		writeScalar(&b, "mqpi_snapshot_epoch", "gauge", "Epoch of the published read-path snapshot.", float64(epoch))

@@ -43,6 +43,23 @@ func TestReadPathMetricsExposition(t *testing.T) {
 	}
 }
 
+// TestBuildInfoExposition: SetBuildInfo renders a constant-1 mqpi_build_info
+// gauge with deterministically ordered (sorted) labels; before the call the
+// gauge is absent rather than rendered with an empty label set.
+func TestBuildInfoExposition(t *testing.T) {
+	m := newMetrics()
+	if strings.Contains(m.Text(), "mqpi_build_info") {
+		t.Errorf("build info rendered before SetBuildInfo:\n%s", m.Text())
+	}
+	m.SetBuildInfo(map[string]string{"version": "dev", "go": "go1.x"})
+	text := m.Text()
+	assertPrometheusText(t, text)
+	want := `mqpi_build_info{go="go1.x",version="dev"} 1` + "\n"
+	if !strings.Contains(text, want) {
+		t.Errorf("metrics missing %q:\n%s", want, text)
+	}
+}
+
 // TestMetricsSnapshotGaugesUnwired: a Metrics without a Manager omits the
 // snapshot gauges instead of rendering garbage.
 func TestMetricsSnapshotGaugesUnwired(t *testing.T) {

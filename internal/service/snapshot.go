@@ -24,6 +24,12 @@ type Snapshot struct {
 	Sched     sched.Snapshot
 	TimeScale float64
 	Arrivals  *core.ArrivalModel // immutable after New; shared, never written
+	// Estimator is the configured estimate-plane mode (core.EstimatorModes).
+	Estimator string
+	// Calib is the ensemble calibration state as of this epoch: rolling
+	// per-member errors and speed EWMAs, copied at publication so every
+	// reader of this epoch derives identical estimates. Zero in stage mode.
+	Calib core.EnsembleState
 }
 
 // estimateInput converts the snapshot to the pure-value input of the §2.2–2.4
@@ -45,8 +51,12 @@ func (s *Snapshot) estimateInput() core.EstimateInput {
 // through Manager.estimatesFor, which maintains an incremental stage structure
 // across epochs and produces bit-identical results.
 func (s *Snapshot) estimates() viewEstimates {
-	out := core.ComputeEstimates(s.estimateInput())
-	return viewEstimates{perQuery: out.PerQuery, quiescent: out.Quiescent}
+	est, err := core.NewEstimator(s.Estimator)
+	if err != nil {
+		panic(err) // published snapshots only ever carry validated modes
+	}
+	out := est.Estimates(s.estimateInput(), s.Calib)
+	return viewEstimates{perQuery: out.PerQuery, quiescent: out.Quiescent, weights: out.Weights}
 }
 
 // viewEstimates is everything the read path derives from one snapshot: the
@@ -55,6 +65,9 @@ func (s *Snapshot) estimates() viewEstimates {
 type viewEstimates struct {
 	perQuery  map[int]core.Estimate
 	quiescent float64 // seconds until all known work drains
+	// weights maps ensemble member name to its blend weight this epoch (nil
+	// in stage mode, which runs no ensemble).
+	weights map[string]float64
 }
 
 // estimateCache shares one estimate computation per snapshot epoch among all

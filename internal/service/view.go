@@ -51,8 +51,13 @@ type QueryView struct {
 	// when solo). Members of one group advance in lockstep over one cursor.
 	FoldGroup int     `json:"fold_group,omitempty"`
 	SingleETA Seconds `json:"single_query_eta"` // t = c/s (null if unobservable)
-	MultiETA  Seconds `json:"multi_query_eta"`  // stage-model estimate
-	Err       string  `json:"error,omitempty"`
+	MultiETA  Seconds `json:"multi_query_eta"`  // stage-model / blended estimate
+	// ETALow/ETAHigh bound the estimator's uncertainty band around MultiETA.
+	// Degenerate (equal to MultiETA) under the stage estimator; ensemble
+	// modes widen it by member spread and calibrated rolling error.
+	ETALow  Seconds `json:"eta_low"`
+	ETAHigh Seconds `json:"eta_high"`
+	Err     string  `json:"error,omitempty"`
 }
 
 // FoldView summarizes shared-scan folding for the overview: live gauges plus
@@ -68,15 +73,19 @@ type FoldView struct {
 
 // Overview is the whole system's live view.
 type Overview struct {
-	Now          float64     `json:"now"`   // virtual clock, seconds
-	Epoch        uint64      `json:"epoch"` // snapshot epoch this view was derived from
-	RateC        float64     `json:"rate_c"`
-	MPL          int         `json:"mpl"`
-	Quantum      float64     `json:"quantum"`
-	Workers      int         `json:"workers"` // execute-phase worker count
-	TimeScale    float64     `json:"time_scale"`
-	Fold         FoldView    `json:"fold"`
-	QuiescentETA Seconds     `json:"quiescent_eta"` // until ALL known work drains
+	Now       float64  `json:"now"`   // virtual clock, seconds
+	Epoch     uint64   `json:"epoch"` // snapshot epoch this view was derived from
+	RateC     float64  `json:"rate_c"`
+	MPL       int      `json:"mpl"`
+	Quantum   float64  `json:"quantum"`
+	Workers   int      `json:"workers"` // execute-phase worker count
+	TimeScale float64  `json:"time_scale"`
+	Fold      FoldView `json:"fold"`
+	// Estimator is the configured estimate-plane mode; Weights carries the
+	// ensemble's current blend weights by member (omitted in stage mode).
+	Estimator    string             `json:"estimator"`
+	Weights      map[string]float64 `json:"estimator_weights,omitempty"`
+	QuiescentETA Seconds            `json:"quiescent_eta"` // until ALL known work drains
 	Running      []QueryView `json:"running"`
 	Queued       []QueryView `json:"queued"`
 	Scheduled    []QueryView `json:"scheduled"`
@@ -109,15 +118,21 @@ func makeView(info sched.QueryInfo, est core.Estimate) QueryView {
 	case sched.StatusFinished:
 		v.Fraction = 1
 		v.SingleETA, v.MultiETA = 0, 0
+		v.ETALow, v.ETAHigh = 0, 0
 	case sched.StatusAborted, sched.StatusFailed:
 		v.SingleETA, v.MultiETA = 0, 0
+		v.ETALow, v.ETAHigh = 0, 0
 	case sched.StatusScheduled:
 		// Not in the system yet: no meaningful estimate.
 		v.SingleETA = Seconds(math.Inf(1))
 		v.MultiETA = Seconds(math.Inf(1))
+		v.ETALow = Seconds(math.Inf(1))
+		v.ETAHigh = Seconds(math.Inf(1))
 	default:
 		v.SingleETA = Seconds(est.SingleQuery)
 		v.MultiETA = Seconds(est.MultiQuery)
+		v.ETALow = Seconds(est.ETALow)
+		v.ETAHigh = Seconds(est.ETAHigh)
 	}
 	return v
 }

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"mqpi/internal/core"
+)
+
+// TestSimEstimatorMatrix is the estimator-plane transparency gate (I13,
+// cross-run form): for every seed, an explicit `Estimator: "stage"` run must
+// be byte-identical to the default-config baseline — the pluggable estimate
+// plane may not change a single traced observable until a non-stage mode is
+// opted into — and must stay byte-identical at workers 1, 2, and 4 (the
+// per-action I13/I6 checks run inside every one of these cells).
+func TestSimEstimatorMatrix(t *testing.T) {
+	for seed := int64(1); seed <= int64(*seedCount); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			base, err := Run(Config{Seed: seed, Workers: 1})
+			if err != nil {
+				t.Fatalf("default: %v", err)
+			}
+			for _, v := range base.Violations {
+				t.Errorf("default: %s", v)
+			}
+			for _, w := range []int{1, 2, 4} {
+				res, err := Run(Config{Seed: seed, Workers: w, Estimator: core.EstimatorStage})
+				if err != nil {
+					t.Fatalf("stage workers=%d: %v", w, err)
+				}
+				for _, v := range res.Violations {
+					t.Errorf("stage workers=%d: %s", w, v)
+				}
+				if res.Trace != base.Trace {
+					t.Errorf("stage workers=%d trace differs from default baseline: %s",
+						w, firstDiff(base.Trace, res.Trace))
+				}
+			}
+		})
+	}
+}
+
+// TestSimEnsembleMode smoke-tests a non-stage estimate plane under the full
+// randomized workload: the structural invariants (work conservation, MPL,
+// epochs, metrics, lifecycle, fold, incremental profile) must all still hold
+// — only the estimate-exactness checks (I6, I7, I13) are out of scope for
+// blended points — and the run must stay byte-deterministic across worker
+// counts, bands and all.
+func TestSimEnsembleMode(t *testing.T) {
+	t.Parallel()
+	base, err := Run(Config{Seed: 5, Workers: 1, Estimator: core.EstimatorEnsemble})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range base.Violations {
+		t.Errorf("workers=1: %s", v)
+	}
+	if base.Submitted == 0 {
+		t.Fatal("ensemble run submitted no queries")
+	}
+	for _, w := range []int{2, 4} {
+		res, err := Run(Config{Seed: 5, Workers: w, Estimator: core.EstimatorEnsemble})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("workers=%d: %s", w, v)
+		}
+		if res.Trace != base.Trace {
+			t.Errorf("ensemble workers=%d trace differs from workers=1: %s",
+				w, firstDiff(base.Trace, res.Trace))
+		}
+	}
+}
+
+// TestSimRejectsBadEstimator pins the config validation path: an unknown
+// estimator mode is a harness error, reported before any engine work.
+func TestSimRejectsBadEstimator(t *testing.T) {
+	t.Parallel()
+	if _, err := Run(Config{Seed: 1, Estimator: "oracle"}); err == nil {
+		t.Fatal("Run accepted estimator \"oracle\"")
+	}
+}

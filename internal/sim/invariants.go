@@ -43,10 +43,20 @@ import (
 //	    pages equal Σ(done−cost) over every query ever admitted exactly (all
 //	    charges are whole units, so the equality is float-exact), and with
 //	    folding never enabled the two planes are identical.
+//	I13 estimator-plane transparency — a run-long stage-mode core.Estimator
+//	    fed the published state returns a bundle bit-identical to
+//	    core.ComputeEstimates (no blend weights, degenerate bands), and every
+//	    live view's band is degenerate at its point estimate
+//	    (ETALow == MultiETA == ETAHigh, bitwise): the pluggable estimate
+//	    plane is a perfect wrapper until a non-stage mode is opted into.
 //
 // I12 — fold on/off runs of the same seed agree on every charged-plane
 // observable — is a cross-run property, checked by TestFoldSimMatrix rather
-// than by this per-action checker.
+// than by this per-action checker. Its estimator-plane sibling — stage-mode
+// traces byte-identical between Estimator "" and "stage" configs — lives in
+// TestSimEstimatorMatrix. The estimate-exactness invariants (I6, I7, I13)
+// only run in stage mode; ensemble modes serve blended heuristic points that
+// the paper's exact stage model does not govern.
 type checker struct {
 	m         *service.Manager
 	rateC     float64
@@ -82,6 +92,14 @@ type checker struct {
 	incProf *core.IncrementalProfile
 	incOut  core.Profile
 
+	// stageMode gates the estimate-exactness invariants (I6, I7, I13): they
+	// only hold for the exact stage plane, not for blended ensemble points.
+	// plane is I13's run-long stage-mode Estimator instance — like incProf,
+	// one instance survives the whole run, so any state the pluggable plane
+	// accidentally accreted would surface as drift from the pure oracle.
+	stageMode bool
+	plane     core.Estimator
+
 	violations []string
 }
 
@@ -104,6 +122,14 @@ type checkCtx struct {
 const overshootSlack = 12.0
 
 func newChecker(m *service.Manager, cfg Config) *checker {
+	stage := cfg.Estimator == "" || cfg.Estimator == core.EstimatorStage
+	var plane core.Estimator
+	if stage {
+		var err error
+		if plane, err = core.NewEstimator(core.EstimatorStage); err != nil {
+			panic(err) // unreachable: the stage mode always constructs
+		}
+	}
 	return &checker{
 		m:         m,
 		rateC:     cfg.RateC,
@@ -120,6 +146,8 @@ func newChecker(m *service.Manager, cfg Config) *checker {
 		prevRun:   make(map[int]bool),
 		seen:      make(map[int]map[string]bool),
 		incProf:   core.NewIncrementalProfile(),
+		stageMode: stage,
+		plane:     plane,
 	}
 }
 
@@ -312,13 +340,24 @@ func (c *checker) checkEstimates(tr *strings.Builder, ctx checkCtx, ov *service.
 	for _, v := range ov.Queued {
 		queued = append(queued, core.QueryState{ID: v.ID, Remaining: v.Remaining, Weight: v.Weight, Done: v.Done})
 	}
-	want := core.ComputeEstimates(core.EstimateInput{
+
+	// I10: the run-long incremental profile, synced to the published running
+	// set, must materialize bit-for-bit what a from-scratch build produces.
+	// It concerns the stage structure, not the estimate surface, so it runs
+	// in every estimator mode.
+	c.checkIncremental(tr, ctx, running, ov.RateC)
+
+	if !c.stageMode {
+		return
+	}
+	in := core.EstimateInput{
 		Running: running,
 		Queued:  queued,
 		MPL:     ov.MPL,
 		RateC:   ov.RateC,
 		Speeds:  speeds,
-	})
+	}
+	want := core.ComputeEstimates(in)
 	sameFloat := func(a, b float64) bool {
 		return math.Float64bits(a) == math.Float64bits(b) || (math.IsNaN(a) && math.IsNaN(b))
 	}
@@ -333,15 +372,46 @@ func (c *checker) checkEstimates(tr *strings.Builder, ctx checkCtx, ov *service.
 			c.fail(tr, ctx, "I6 q%d single ETA stale: view %s, recomputed %s",
 				v.ID, g(float64(v.SingleETA)), g(w.SingleQuery))
 		}
+		// I13, view form: stage-mode bands are degenerate at the point.
+		if !sameFloat(float64(v.ETALow), float64(v.MultiETA)) || !sameFloat(float64(v.ETAHigh), float64(v.MultiETA)) {
+			c.fail(tr, ctx, "I13 q%d stage-mode band [%s,%s] not degenerate at point %s",
+				v.ID, g(float64(v.ETALow)), g(float64(v.ETAHigh)), g(float64(v.MultiETA)))
+		}
 	}
 	if !sameFloat(float64(ov.QuiescentETA), want.Quiescent) {
 		c.fail(tr, ctx, "I6 quiescent ETA stale: view %s, recomputed %s",
 			g(float64(ov.QuiescentETA)), g(want.Quiescent))
 	}
 
-	// I10: the run-long incremental profile, synced to the published running
-	// set, must materialize bit-for-bit what a from-scratch build produces.
-	c.checkIncremental(tr, ctx, running, ov.RateC)
+	// I13, plane form: the run-long pluggable stage estimator must be a
+	// perfect, stateless wrapper — same input, bit-identical bundle to the
+	// pure oracle, no blend weights, bands collapsed onto the point.
+	got := c.plane.Estimates(in, core.EnsembleState{})
+	if got.Weights != nil {
+		c.fail(tr, ctx, "I13 stage estimator reported blend weights %v", got.Weights)
+	}
+	if len(got.PerQuery) != len(want.PerQuery) {
+		c.fail(tr, ctx, "I13 stage estimator returned %d estimates, oracle %d",
+			len(got.PerQuery), len(want.PerQuery))
+	}
+	for id, w := range want.PerQuery {
+		ge, ok := got.PerQuery[id]
+		if !ok {
+			c.fail(tr, ctx, "I13 stage estimator missing q%d", id)
+			continue
+		}
+		if !sameFloat(ge.MultiQuery, w.MultiQuery) || !sameFloat(ge.SingleQuery, w.SingleQuery) {
+			c.fail(tr, ctx, "I13 q%d plane ETA (%s,%s), oracle (%s,%s) (bitwise)",
+				id, g(ge.SingleQuery), g(ge.MultiQuery), g(w.SingleQuery), g(w.MultiQuery))
+		}
+		if !sameFloat(ge.ETALow, w.ETALow) || !sameFloat(ge.ETAHigh, w.ETAHigh) {
+			c.fail(tr, ctx, "I13 q%d plane band [%s,%s], oracle [%s,%s] (bitwise)",
+				id, g(ge.ETALow), g(ge.ETAHigh), g(w.ETALow), g(w.ETAHigh))
+		}
+	}
+	if !sameFloat(got.Quiescent, want.Quiescent) {
+		c.fail(tr, ctx, "I13 plane quiescent %s, oracle %s (bitwise)", g(got.Quiescent), g(want.Quiescent))
+	}
 }
 
 // checkIncremental is invariant I10: patch the checker's long-lived
@@ -409,6 +479,11 @@ func (c *checker) checkIncremental(tr *strings.Builder, ctx checkCtx, running []
 // and the prediction horizon, not with the bug classes this invariant exists
 // to catch (stale estimates, credit leaks, lost redistribution).
 func (c *checker) checkExactness(tr *strings.Builder, ctx checkCtx, ov *service.Overview, events []service.Event) {
+	if !c.stageMode {
+		// Blended ensemble points are heuristics; the paper's exactness claim
+		// (and hence this invariant) governs only the stage plane.
+		return
+	}
 	perturbAt := math.Inf(1)
 	if ctx.perturbed {
 		perturbAt = math.Inf(-1) // the action itself voids every prediction

@@ -30,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 
+	"mqpi/internal/core"
 	"mqpi/internal/engine"
 	"mqpi/internal/engine/types"
 	"mqpi/internal/sched"
@@ -77,6 +78,13 @@ type Config struct {
 	// it off so fold-on and fold-off runs see identical action streams; the
 	// fuzz target turns it on.
 	FoldToggle bool
+	// Estimator selects the service's estimate plane (core.EstimatorModes;
+	// "" means the default stage path). The I13 matrix runs "" and "stage"
+	// runs of the same seed and demands byte-identical traces — the
+	// pluggable plane must be a perfect wrapper until opted in. Non-stage
+	// modes disable the stage-exactness invariants (I6, I7, I13): blended
+	// points are heuristics, not the paper's exact model.
+	Estimator string
 }
 
 func (c Config) withDefaults() Config {
@@ -280,6 +288,9 @@ const (
 )
 
 func newSim(cfg Config) (*sim, error) {
+	if err := core.ValidEstimator(cfg.Estimator); err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	db := engine.Open()
 	mk := func(stmt string) error {
@@ -330,6 +341,7 @@ func newSim(cfg Config) (*sim, error) {
 		},
 		TickEvery: -1, // manual clock: virtual time moves only through Advance
 		EventCap:  4096,
+		Estimator: cfg.Estimator,
 	})
 	s := &sim{cfg: cfg, rng: rng, db: db, m: m}
 	s.chk = newChecker(m, cfg)
