@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseFlagsRejectsBadValues(t *testing.T) {
+	for _, args := range [][]string{
+		{"-arrival", "uniform"},
+		{"-clients", "0"},
+		{"-shards", "0"},
+		{"-routing", "random"},
+		{"-estimator", "oracle"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted", args)
+		}
+	}
+}
+
+// TestLoadRunSelfcheck drives the real CLI end to end at smoke scale: an
+// in-process single-engine server, a small closed-loop swarm, -selfcheck
+// asserting non-empty ordered histograms, and the -out JSON artifact.
+func TestLoadRunSelfcheck(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "score.json")
+	err := run([]string{
+		"-clients", "8", "-ops", "24", "-think", "1ms", "-poll", "1ms",
+		"-duration", "30s", "-timescale", "800", "-tick", "1ms",
+		"-selfcheck", "-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("bad -out JSON: %v", err)
+	}
+	if len(rep.Runs) != 1 || rep.Runs[0].Latency.Submit.Count == 0 || rep.Runs[0].Ops.Completed == 0 {
+		t.Fatalf("implausible scorecard: %s", b)
+	}
+	if rep.Note == "" {
+		t.Fatal("report note missing")
+	}
+}
+
+// TestLoadRunCluster exercises the front-door path through the CLI: shards,
+// least-loaded routing, and generous queue-on-full admission must still pass
+// the selfcheck.
+func TestLoadRunCluster(t *testing.T) {
+	err := run([]string{
+		"-clients", "8", "-ops", "16", "-think", "1ms", "-poll", "1ms",
+		"-duration", "30s", "-timescale", "800", "-tick", "1ms",
+		"-shards", "2", "-routing", "least-loaded", "-admit-rate", "1e6", "-admit-burst", "1e6",
+		"-selfcheck",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -35,25 +36,29 @@ import (
 )
 
 type options struct {
-	addr         string
-	rateC        float64
-	mpl          int
-	quantum      float64
-	timeScale    float64
-	tickEvery    time.Duration
-	eventCap     int
-	workers      int
-	execDeadline time.Duration
-	demo         bool
-	demoRows     int
-	shards       int
-	routing      string
-	admitRate    float64
-	admitBurst   float64
-	admitQueue   bool
-	fold         bool
-	foldMinPages int
-	estimator    string
+	addr          string
+	rateC         float64
+	mpl           int
+	quantum       float64
+	timeScale     float64
+	tickEvery     time.Duration
+	eventCap      int
+	workers       int
+	execDeadline  time.Duration
+	demo          bool
+	demoRows      int
+	shards        int
+	routing       string
+	admitRate     float64
+	admitBurst    float64
+	admitQueue    bool
+	fold          bool
+	foldMinPages  int
+	estimator     string
+	readTimeout   time.Duration
+	writeTimeout  time.Duration
+	idleTimeout   time.Duration
+	shutdownGrace time.Duration
 }
 
 // version identifies the build on the mqpi_build_info gauge; release builds
@@ -82,11 +87,18 @@ func parseFlags(args []string) (options, error) {
 	fs.BoolVar(&o.fold, "fold", false, "fold same-table same-priority seq scans onto one shared cursor (charged progress is unchanged; only engine cost drops)")
 	fs.IntVar(&o.foldMinPages, "fold-min-pages", 0, "smallest table (heap pages) eligible for scan folding (0 = default floor)")
 	fs.StringVar(&o.estimator, "estimator", core.EstimatorStage, "estimate plane: "+strings.Join(core.EstimatorModes(), "|")+" (ensemble blends members online and reports eta_low/eta_high bands)")
+	fs.DurationVar(&o.readTimeout, "read-timeout", 30*time.Second, "max time to read one request (slow-client guard; load swarms must not pin handlers)")
+	fs.DurationVar(&o.writeTimeout, "write-timeout", 30*time.Second, "max time to write one response")
+	fs.DurationVar(&o.idleTimeout, "idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
+	fs.DurationVar(&o.shutdownGrace, "shutdown-grace", 10*time.Second, "max wait for in-flight requests to drain on SIGINT/SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
 	if o.rateC <= 0 || o.quantum <= 0 || o.timeScale <= 0 || o.tickEvery <= 0 {
 		return o, errors.New("rate, quantum, timescale, and tick must be positive")
+	}
+	if o.readTimeout <= 0 || o.writeTimeout <= 0 || o.idleTimeout <= 0 || o.shutdownGrace <= 0 {
+		return o, errors.New("read-timeout, write-timeout, idle-timeout, and shutdown-grace must be positive")
 	}
 	if o.shards < 1 {
 		return o, errors.New("shards must be at least 1")
@@ -191,6 +203,52 @@ func buildServer(o options) (interface{ Close() }, http.Handler, error) {
 	return m, service.NewHandler(m), nil
 }
 
+// newHTTPServer wraps the handler with the binary's protection limits: a
+// slow or stalled client can hold a connection for at most the read/write
+// timeouts, so a load swarm (or a misbehaving peer) cannot pin handler
+// goroutines indefinitely.
+func newHTTPServer(o options, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              o.addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       o.readTimeout,
+		WriteTimeout:      o.writeTimeout,
+		IdleTimeout:       o.idleTimeout,
+	}
+}
+
+// serveUntilSignal runs the server until it fails or a signal arrives, then
+// shuts down gracefully: the listener closes, in-flight requests get up to
+// grace to drain, and only then is the serving tier (scheduler ticker and
+// owner goroutines) closed. ln may be nil, in which case the server listens
+// on its own Addr. The signal channel is injected so tests can drive the
+// shutdown path without killing the test process.
+func serveUntilSignal(srv *http.Server, ln net.Listener, m interface{ Close() }, sig <-chan os.Signal, grace time.Duration) error {
+	errc := make(chan error, 1)
+	go func() {
+		if ln != nil {
+			errc <- srv.Serve(ln)
+		} else {
+			errc <- srv.ListenAndServe()
+		}
+	}()
+	select {
+	case err := <-errc:
+		m.Close()
+		return err
+	case s := <-sig:
+		log.Printf("received %s, draining in-flight requests (grace %s)", s, grace)
+		ctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		// Close the tier only after the drain: in-flight polls and submits
+		// must see a live manager, not ErrClosed 503s.
+		m.Close()
+		return err
+	}
+}
+
 func run(args []string) error {
 	o, err := parseFlags(args)
 	if err != nil {
@@ -200,25 +258,14 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer m.Close()
 
-	srv := &http.Server{Addr: o.addr, Handler: handler}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	srv := newHTTPServer(o, handler)
 	log.Printf("mqpi-serve listening on %s (C=%g U/s, quantum=%gs, timescale=%g, workers=%d, shards=%d, routing=%s, admit-rate=%g, fold=%v, estimator=%s, demo=%v)",
 		o.addr, o.rateC, o.quantum, o.timeScale, o.workers, o.shards, o.routing, o.admitRate, o.fold, o.estimator, o.demo)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errc:
-		return err
-	case s := <-sig:
-		log.Printf("received %s, shutting down", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		return srv.Shutdown(ctx)
-	}
+	return serveUntilSignal(srv, nil, m, sig, o.shutdownGrace)
 }
 
 func main() {

@@ -4,9 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -412,5 +416,121 @@ func TestServeClusterSession(t *testing.T) {
 	resp.Body.Close()
 	if !strings.Contains(string(b), "mqpi_queries_submitted_total") {
 		t.Errorf("shard passthrough metrics:\n%s", b)
+	}
+}
+
+// TestNewHTTPServerTimeouts pins the slow-client protection limits onto the
+// assembled server: a load swarm (or a stalled peer) must never be able to
+// hold a handler goroutine past the configured read/write windows.
+func TestNewHTTPServerTimeouts(t *testing.T) {
+	o, err := parseFlags([]string{"-read-timeout", "7s", "-write-timeout", "9s", "-idle-timeout", "11s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newHTTPServer(o, http.NewServeMux())
+	if srv.ReadTimeout != 7*time.Second || srv.WriteTimeout != 9*time.Second ||
+		srv.IdleTimeout != 11*time.Second || srv.ReadHeaderTimeout == 0 {
+		t.Fatalf("timeouts not applied: read=%s write=%s idle=%s header=%s",
+			srv.ReadTimeout, srv.WriteTimeout, srv.IdleTimeout, srv.ReadHeaderTimeout)
+	}
+	for _, args := range [][]string{
+		{"-read-timeout", "0s"},
+		{"-write-timeout", "-1s"},
+		{"-idle-timeout", "0s"},
+		{"-shutdown-grace", "0s"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted", args)
+		}
+	}
+}
+
+// drainCloser records when the serving tier was closed so the test can prove
+// the drain-then-close ordering.
+type drainCloser struct {
+	mu     sync.Mutex
+	closed time.Time
+}
+
+func (c *drainCloser) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = time.Now()
+}
+
+func (c *drainCloser) closedAt() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// TestGracefulShutdownDrainsInFlight is the SIGINT/SIGTERM teardown contract:
+// a request already in a handler when the signal arrives must complete with
+// its full response, the server must then exit cleanly, and the serving tier
+// must only be closed after the drain (in-flight work never sees ErrClosed).
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	var handlerDone time.Time
+	var doneMu sync.Mutex
+	mux := http.NewServeMux()
+	started := make(chan struct{})
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		time.Sleep(300 * time.Millisecond)
+		doneMu.Lock()
+		handlerDone = time.Now()
+		doneMu.Unlock()
+		fmt.Fprint(w, "done")
+	})
+
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newHTTPServer(o, mux)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	closer := &drainCloser{}
+	sigc := make(chan os.Signal, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- serveUntilSignal(srv, ln, closer, sigc, 5*time.Second) }()
+
+	respc := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err != nil {
+			respc <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		respc <- fmt.Sprintf("%d %s", resp.StatusCode, b)
+	}()
+
+	// Signal only once the request is inside the handler.
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached the handler")
+	}
+	sigc <- syscall.SIGTERM
+
+	if got := <-respc; got != "200 done" {
+		t.Fatalf("in-flight request not drained: %q", got)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("serveUntilSignal: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	doneMu.Lock()
+	hd := handlerDone
+	doneMu.Unlock()
+	if ca := closer.closedAt(); ca.IsZero() || ca.Before(hd) {
+		t.Fatalf("tier closed before the in-flight handler finished (closed=%v, handler=%v)", ca, hd)
 	}
 }

@@ -1,0 +1,137 @@
+package load
+
+import (
+	"runtime"
+	"testing"
+)
+
+func genConfigs() map[string]GenConfig {
+	return map[string]GenConfig{
+		"closed":  {Arrival: ArrivalClosed, Seed: 42, Ops: 500},
+		"poisson": {Arrival: ArrivalPoisson, Seed: 42, Rate: 400, Horizon: 3},
+		"bursty":  {Arrival: ArrivalBursty, Seed: 42, Rate: 200, Horizon: 3},
+		"diurnal": {Arrival: ArrivalDiurnal, Seed: 42, Rate: 300, Horizon: 3},
+	}
+}
+
+// TestScheduleDeterministic is the seeded-determinism contract, mirroring the
+// experiments pool's: the same seed must produce a byte-identical arrival
+// schedule and template sequence no matter how the swarm will be shaped.
+// GenConfig deliberately has no client-count field — clients only claim ops
+// by atomic index — so -clients cannot perturb the schedule by construction;
+// what this test pins is independence from repetition and from GOMAXPROCS.
+func TestScheduleDeterministic(t *testing.T) {
+	for name, cfg := range genConfigs() {
+		t.Run(name, func(t *testing.T) {
+			s1, err := BuildSchedule(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev := runtime.GOMAXPROCS(1)
+			s2, err := BuildSchedule(cfg)
+			runtime.GOMAXPROCS(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runtime.GOMAXPROCS(4)
+			s3, err := BuildSchedule(cfg)
+			runtime.GOMAXPROCS(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f1, f2, f3 := s1.Fingerprint(), s2.Fingerprint(), s3.Fingerprint()
+			if f1 != f2 || f1 != f3 {
+				t.Fatalf("schedule not deterministic across GOMAXPROCS: lens %d/%d/%d", len(f1), len(f2), len(f3))
+			}
+			if len(s1.Ops) == 0 {
+				t.Fatal("empty schedule")
+			}
+
+			other := cfg
+			other.Seed = 43
+			s4, err := BuildSchedule(other)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s4.Fingerprint() == f1 {
+				t.Fatal("different seeds produced identical schedules")
+			}
+		})
+	}
+}
+
+// TestScheduleShape checks each process's structural invariants: open-loop
+// instants are non-decreasing within the horizon, closed-loop thinks are
+// non-negative, templates stay within the configured table set, and the Ops
+// cap is honored.
+func TestScheduleShape(t *testing.T) {
+	for name, cfg := range genConfigs() {
+		t.Run(name, func(t *testing.T) {
+			cfg.Tables = 3
+			s, err := BuildSchedule(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prevAt := 0.0
+			for i, op := range s.Ops {
+				if op.Table < 1 || op.Table > 3 {
+					t.Fatalf("op %d: table %d outside 1..3", i, op.Table)
+				}
+				if op.SQL() == "" {
+					t.Fatalf("op %d: empty SQL", i)
+				}
+				if s.Open() {
+					if op.At < prevAt {
+						t.Fatalf("op %d: arrival %g before previous %g", i, op.At, prevAt)
+					}
+					if op.At > s.Cfg.Horizon {
+						t.Fatalf("op %d: arrival %g beyond horizon %g", i, op.At, s.Cfg.Horizon)
+					}
+					prevAt = op.At
+				} else if op.Think < 0 {
+					t.Fatalf("op %d: negative think %g", i, op.Think)
+				}
+			}
+		})
+	}
+
+	capped := GenConfig{Arrival: ArrivalPoisson, Seed: 1, Rate: 10000, Horizon: 10, Ops: 37}
+	s, err := BuildSchedule(capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Ops) != 37 {
+		t.Fatalf("ops cap ignored: %d ops, want 37", len(s.Ops))
+	}
+}
+
+// TestScheduleZipfSkew: with a strongly skewed exponent, part_1 must be the
+// hottest table — the property the fold-aware routing and the paper's
+// size distribution both rely on.
+func TestScheduleZipfSkew(t *testing.T) {
+	s, err := BuildSchedule(GenConfig{Arrival: ArrivalClosed, Seed: 9, Ops: 3000, Tables: 3, ZipfA: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, op := range s.Ops {
+		counts[op.Table]++
+	}
+	if !(counts[1] > counts[2] && counts[1] > counts[3]) {
+		t.Fatalf("Zipf skew missing: counts %v", counts)
+	}
+}
+
+func TestValidArrival(t *testing.T) {
+	for _, a := range Arrivals() {
+		if err := ValidArrival(a); err != nil {
+			t.Errorf("ValidArrival(%q) = %v", a, err)
+		}
+	}
+	if err := ValidArrival("uniform"); err == nil {
+		t.Error("ValidArrival accepted an unknown process")
+	}
+	if _, err := BuildSchedule(GenConfig{Arrival: "uniform"}); err == nil {
+		t.Error("BuildSchedule accepted an unknown process")
+	}
+}

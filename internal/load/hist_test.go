@@ -1,0 +1,136 @@
+package load
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketIndexBounds pins the bucket geometry: every value maps into a
+// bucket whose [lo, hi] range contains it, indexes are monotone in the value,
+// and the relative bucket width never exceeds 1/subCount.
+func TestBucketIndexBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	prevIdx := -1
+	for _, v := range []uint64{0, 1, 2, 31, 32, 33, 63, 64, 65, 1023, 1024, 1 << 20, 1 << 40, 1<<62 + 12345} {
+		idx := bucketIndex(v)
+		lo, hi := bucketBounds(idx)
+		if v < lo || v > hi {
+			t.Fatalf("value %d outside its bucket %d range [%d, %d]", v, idx, lo, hi)
+		}
+		if idx < prevIdx {
+			t.Fatalf("bucket index not monotone at value %d", v)
+		}
+		prevIdx = idx
+		if lo >= subCount {
+			if width := hi - lo + 1; float64(width)/float64(lo) > 1.0/subCount+1e-12 {
+				t.Fatalf("bucket %d width %d exceeds %d/subCount relative bound (lo=%d)", idx, width, lo, lo)
+			}
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		v := uint64(rng.Int63())
+		idx := bucketIndex(v)
+		lo, hi := bucketBounds(idx)
+		if v < lo || v > hi {
+			t.Fatalf("random value %d outside bucket %d range [%d, %d]", v, idx, lo, hi)
+		}
+	}
+}
+
+// TestQuantileAgainstSortedOracle is the histogram correctness property: on
+// randomized inputs spanning six orders of magnitude, every reported
+// percentile must land within one bucket's relative error (1/subCount, plus
+// the half-bucket midpoint rounding) of the exact sorted-sample oracle.
+func TestQuantileAgainstSortedOracle(t *testing.T) {
+	quantiles := []float64{0, 0.5, 0.9, 0.95, 0.99, 0.999, 1}
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		n := 100 + rng.Intn(20000)
+		h := &Histogram{}
+		vals := make([]uint64, n)
+		for i := range vals {
+			// Mix scales: sub-microsecond through minutes, in nanoseconds.
+			v := uint64(rng.Int63n(int64(1) << uint(10+rng.Intn(26))))
+			vals[i] = v
+			h.Record(time.Duration(v))
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		if h.Count() != uint64(n) {
+			t.Fatalf("trial %d: count %d, want %d", trial, h.Count(), n)
+		}
+		if h.Max() != vals[n-1] || h.Min() != vals[0] {
+			t.Fatalf("trial %d: min/max (%d,%d), want (%d,%d)", trial, h.Min(), h.Max(), vals[0], vals[n-1])
+		}
+		for _, q := range quantiles {
+			rank := int(float64(n)*q+0.9999) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			if rank >= n {
+				rank = n - 1
+			}
+			exact := float64(vals[rank])
+			got := float64(h.Quantile(q))
+			// The quantile's sample sits in some bucket; the midpoint answer
+			// can miss the exact value by at most the bucket width, which is
+			// bounded by exact/subCount (and 0 below subCount).
+			tol := exact/subCount + 1
+			if got < exact-tol || got > exact+tol {
+				t.Fatalf("trial %d: q%.3f = %g, oracle %g (tol %g, n=%d)", trial, q, got, exact, tol, n)
+			}
+		}
+	}
+}
+
+// TestHistogramConcurrentRecord hammers one histogram from many goroutines
+// while a reader keeps taking percentile snapshots; run under -race this pins
+// the lock-free recording contract, and afterwards the total count and the
+// percentile ladder must be exact and ordered.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	const goroutines = 16
+	const perG = 20000
+	h := &Histogram{}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = h.Quantile(0.99)
+				_ = h.Stats()
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				h.Record(time.Duration(rng.Int63n(1 << 30)))
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+
+	if h.Count() != goroutines*perG {
+		t.Fatalf("count %d, want %d", h.Count(), goroutines*perG)
+	}
+	st := h.Stats()
+	if !st.Ordered() {
+		t.Fatalf("percentiles disordered after concurrent recording: %+v", st)
+	}
+	if st.Max == 0 || st.P50 <= 0 {
+		t.Fatalf("implausible stats after %d records: %+v", goroutines*perG, st)
+	}
+}

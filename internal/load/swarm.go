@@ -1,0 +1,229 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SwarmOpts shapes the client pool consuming a Schedule.
+type SwarmOpts struct {
+	// Clients is the number of concurrent submit+poll goroutines.
+	Clients int `json:"clients"`
+	// PollEvery is each client's pause between progress polls on its
+	// in-flight query.
+	PollEvery time.Duration `json:"poll_every_ns"`
+	// Duration caps the run in wall time; 0 runs until the schedule drains.
+	Duration time.Duration `json:"duration_ns"`
+	// MaxETASamples caps per-query ETA observations so very long queries
+	// don't dominate the accuracy pool (0 = 64).
+	MaxETASamples int `json:"max_eta_samples,omitempty"`
+	// Sessions adds a per-client session affinity key to each submission.
+	// Only the cluster front door knows the field — the single-engine
+	// service's strict request parsing rejects it — so enable it exactly
+	// when the target is a cluster.
+	Sessions bool `json:"sessions,omitempty"`
+}
+
+func (o SwarmOpts) withDefaults() SwarmOpts {
+	if o.Clients <= 0 {
+		o.Clients = 64
+	}
+	if o.PollEvery <= 0 {
+		o.PollEvery = 5 * time.Millisecond
+	}
+	if o.MaxETASamples <= 0 {
+		o.MaxETASamples = 64
+	}
+	return o
+}
+
+// pollView is the slice of a /queries/{id} response the swarm reads. The ETA
+// fields are pointers because the service renders non-finite values as JSON
+// null; Now is the virtual-time stamp the poll path carries so predicted
+// finishes can be audited against actual ones.
+type pollView struct {
+	ID         int      `json:"id"`
+	Status     string   `json:"status"`
+	Now        float64  `json:"now"`
+	Fraction   float64  `json:"fraction"`
+	FinishTime float64  `json:"finish_time"`
+	Multi      *float64 `json:"multi_query_eta"`
+	Low        *float64 `json:"eta_low"`
+	High       *float64 `json:"eta_high"`
+}
+
+func terminal(status string) bool {
+	return status == "finished" || status == "aborted" || status == "failed"
+}
+
+// Run floods the target with the schedule: Clients goroutines claim ops by
+// atomic index (never drawing randomness, so the schedule stays the
+// generator's), submit them, and poll each query to completion while
+// recording per-op latency and ETA accuracy. It returns the populated
+// Recorder and the wall-clock seconds the swarm ran.
+func Run(target *Target, sched *Schedule, opts SwarmOpts) (*Recorder, float64) {
+	opts = opts.withDefaults()
+	rec := &Recorder{}
+	var next atomic.Int64
+	start := time.Now()
+	var deadline time.Time
+	if opts.Duration > 0 {
+		deadline = start.Add(opts.Duration)
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			w := worker{target: target, rec: rec, opts: opts, session: fmt.Sprintf("c%d", client)}
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(sched.Ops) {
+					return
+				}
+				op := sched.Ops[i]
+				if !w.pace(start, deadline, op, sched.Open()) {
+					// Deadline hit before this op could fire: put it back
+					// conceptually by counting it dropped, and stop.
+					rec.Dropped.Add(1)
+					return
+				}
+				w.runOp(i, op, deadline)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Ops never claimed by any client are dropped too.
+	if claimed := next.Load(); int(claimed) < len(sched.Ops) {
+		rec.Dropped.Add(uint64(len(sched.Ops) - int(claimed)))
+	}
+	return rec, time.Since(start).Seconds()
+}
+
+// worker is one client goroutine's state.
+type worker struct {
+	target  *Target
+	rec     *Recorder
+	opts    SwarmOpts
+	session string
+}
+
+// pace blocks until the op may fire: until its absolute instant in open-loop
+// mode, or through its think pause in closed-loop mode. It returns false if
+// the deadline arrives first.
+func (w *worker) pace(start, deadline time.Time, op Op, open bool) bool {
+	var until time.Time
+	if open {
+		until = start.Add(time.Duration(op.At * float64(time.Second)))
+	} else {
+		until = time.Now().Add(time.Duration(op.Think * float64(time.Second)))
+	}
+	if !deadline.IsZero() && until.After(deadline) {
+		return false
+	}
+	if d := time.Until(until); d > 0 {
+		time.Sleep(d)
+	}
+	return !(!deadline.IsZero() && time.Now().After(deadline))
+}
+
+// runOp submits one query and polls it to a terminal state.
+func (w *worker) runOp(i int, op Op, deadline time.Time) {
+	payload := map[string]any{"sql": op.SQL(), "label": fmt.Sprintf("op-%d", i)}
+	if w.opts.Sessions {
+		payload["session"] = w.session
+	}
+	body, _ := json.Marshal(payload)
+	t0 := time.Now()
+	status, resp, err := w.do(http.MethodPost, "/queries", body)
+	w.rec.Submit.Record(time.Since(t0))
+	switch {
+	case err != nil:
+		w.rec.Errors.Add(1)
+		return
+	case status == http.StatusTooManyRequests:
+		w.rec.Rejected.Add(1)
+		return
+	case status != http.StatusCreated:
+		w.rec.Errors.Add(1)
+		return
+	}
+	var created pollView
+	if err := json.Unmarshal(resp, &created); err != nil || created.ID <= 0 {
+		w.rec.Errors.Add(1)
+		return
+	}
+	w.rec.Submitted.Add(1)
+
+	path := fmt.Sprintf("/queries/%d", created.ID)
+	var samples []etaSample
+	for {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			w.rec.Timeouts.Add(1)
+			return
+		}
+		p0 := time.Now()
+		status, resp, err := w.do(http.MethodGet, path, nil)
+		w.rec.Poll.Record(time.Since(p0))
+		w.rec.Polls.Add(1)
+		if err != nil || status != http.StatusOK {
+			w.rec.Errors.Add(1)
+			return
+		}
+		var v pollView
+		if err := json.Unmarshal(resp, &v); err != nil {
+			w.rec.Errors.Add(1)
+			return
+		}
+		if terminal(v.Status) {
+			w.rec.E2E.Record(time.Since(t0))
+			w.rec.Completed.Add(1)
+			if v.Status == "finished" {
+				w.rec.foldQuery(samples, v.FinishTime)
+			}
+			return
+		}
+		if v.Multi != nil && len(samples) < w.opts.MaxETASamples {
+			s := etaSample{Now: v.Now, ETA: *v.Multi, Fraction: v.Fraction, Low: math.NaN(), High: math.NaN()}
+			if v.Low != nil && v.High != nil {
+				s.Low, s.High = *v.Low, *v.High
+			}
+			samples = append(samples, s)
+		}
+		time.Sleep(w.opts.PollEvery)
+	}
+}
+
+// do issues one request and returns (status, body, error).
+func (w *worker) do(method, path string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, w.target.BaseURL+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := w.target.Client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, b, nil
+}

@@ -626,7 +626,12 @@ func (m *Manager) Progress(id int) (QueryView, error) {
 	if statusHasEstimate(info.Status) {
 		est = m.estimatesFor(snap).perQuery[id]
 	}
-	return makeView(info, est), nil
+	view := makeView(info, est)
+	// Stamp the poll with the snapshot's virtual clock so clients can turn
+	// the relative ETA into an absolute predicted finish (now + eta) and
+	// audit it against finish_time once the query completes.
+	view.Now = Seconds(snap.Sched.Now)
+	return view, nil
 }
 
 // statusHasEstimate reports whether makeView consults the estimate bundle
@@ -884,5 +889,7 @@ func (m *Manager) Load() Load {
 func (m *Manager) viewLocked(id int) QueryView {
 	info, _ := m.srv.SnapshotQuery(id)
 	est := m.estimates()
-	return makeView(info, est[info.ID])
+	view := makeView(info, est[info.ID])
+	view.Now = Seconds(m.srv.Now())
+	return view
 }

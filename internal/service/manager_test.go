@@ -1,6 +1,7 @@
 package service
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -650,5 +651,63 @@ func TestOverviewCarriesEpoch(t *testing.T) {
 	}
 	if len(ov2.Running) != 1 {
 		t.Errorf("read-your-write failed: submit not visible in next overview: %+v", ov2)
+	}
+}
+
+// TestProgressCarriesNow pins the virtual-clock stamp on the poll path: a
+// single-query view must carry the scheduler's current time so a client can
+// audit predictions (predicted finish = now + ETA) against the actual finish
+// time later. Views embedded in an Overview omit the per-view stamp in favor
+// of the overview's own Now.
+func TestProgressCarriesNow(t *testing.T) {
+	db := engine.Open()
+	loadTable(t, db, "t1", 10)
+	m := manual(t, db, sched.Config{RateC: 10, Quantum: 0.5})
+
+	view, err := m.Submit(SubmitRequest{Label: "q1", SQL: "SELECT SUM(a) FROM t1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The submit-time view is stamped at the submission instant.
+	if float64(view.Now) != 0 {
+		t.Errorf("submit view now = %g, want 0", float64(view.Now))
+	}
+	if err := m.Advance(0.5); err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Progress(view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(p.Now) != 0.5 {
+		t.Errorf("poll view now = %g, want 0.5", float64(p.Now))
+	}
+	// now + ETA should predict a finish consistent with the actual one.
+	predicted := float64(p.Now) + float64(p.MultiETA)
+	if err := m.Advance(5); err != nil {
+		t.Fatal(err)
+	}
+	final, err := m.Progress(view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != "finished" {
+		t.Fatalf("status = %s", final.Status)
+	}
+	actual := float64(final.FinishTime)
+	if math.Abs(predicted-actual) > 0.25*actual+0.25 {
+		t.Errorf("predicted finish %g vs actual %g", predicted, actual)
+	}
+
+	ov, err := m.Overview()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(ov.Finished[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), `"now"`) {
+		t.Errorf("overview-embedded view carries its own now: %s", b)
 	}
 }

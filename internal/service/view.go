@@ -25,9 +25,14 @@ func (s Seconds) MarshalJSON() ([]byte, error) {
 // timestamps, work accounting, and the two competing remaining-time
 // estimates. All times are in virtual seconds.
 type QueryView struct {
-	ID         int     `json:"id"`
-	Label      string  `json:"label,omitempty"`
-	SQL        string  `json:"sql,omitempty"`
+	ID    int    `json:"id"`
+	Label string `json:"label,omitempty"`
+	SQL   string `json:"sql,omitempty"`
+	// Now is the virtual clock at the instant this view was derived. Single-
+	// query polls carry it so a client can audit predictions (predicted
+	// finish = now + ETA) against the actual finish time later; views
+	// embedded in an Overview omit it in favor of the overview's own Now.
+	Now        Seconds `json:"now,omitempty"`
 	Priority   int     `json:"priority"`
 	Status     string  `json:"status"`
 	SubmitTime float64 `json:"submit_time"`
